@@ -1,0 +1,73 @@
+"""Benchmark fixtures: one world, one crawl per experiment, shared reports.
+
+The bench world is built at ``REPRO_SCALE`` (default 0.1 — a ~92K-node
+Internet plus the paper-scale mobile ASes).  Crawls run once per pytest
+session; each benchmark times its *analysis* stage (the repeatable part) and
+writes a paper-vs-measured report to ``results/``.
+
+Absolute counts scale with the world; the shape — who wins, by what factor,
+where the crossovers fall — is asserted against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.analysis import AnalysisThresholds
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.core.experiments.https_mitm import HttpsMitmExperiment
+from repro.core.experiments.monitoring import MonitoringExperiment
+from repro.sim import WorldConfig, build_world
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> WorldConfig:
+    return WorldConfig.from_env(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def bench_world(bench_config):
+    return build_world(bench_config)
+
+
+@pytest.fixture(scope="session")
+def thresholds(bench_config):
+    return AnalysisThresholds.for_scale(bench_config.scale)
+
+
+@pytest.fixture(scope="session")
+def dns_dataset(bench_world):
+    return DnsHijackExperiment(bench_world, seed=201).run()
+
+
+@pytest.fixture(scope="session")
+def http_dataset(bench_world):
+    return HttpModExperiment(bench_world, seed=202).run()
+
+
+@pytest.fixture(scope="session")
+def https_dataset(bench_world):
+    return HttpsMitmExperiment(bench_world, seed=203).run()
+
+
+@pytest.fixture(scope="session")
+def monitoring_dataset(bench_world):
+    return MonitoringExperiment(bench_world, seed=204).run()
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Persist a rendered comparison under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _write

@@ -1,0 +1,44 @@
+"""Extension bench: Netalyzr-style transparent-proxy detection (§8 lineage).
+
+Not a paper table — the paper cites Netalyzr's header-based proxy detection
+as the complementary technique; this bench shows the same detector running
+over the Luminati-style crawl: Via-header recovery plus shared-cache
+staleness, localized per AS.
+"""
+
+from repro.core.analysis import table_http_proxies
+from repro.core.reports import render_table
+
+
+def test_ext_transparent_proxy_detection(
+    benchmark, http_dataset, bench_world, thresholds, write_report
+):
+    rows = benchmark(table_http_proxies, http_dataset, bench_world.orgmap, thresholds)
+
+    planted = {
+        host.truth["http_proxy"]
+        for host in bench_world.hosts
+        if "http_proxy" in host.truth
+    }
+    table = render_table(
+        ("AS", "ISP", "cc", "via token", "proxied", "caching", "total", "ratio"),
+        [
+            (
+                row.asn, row.isp, row.country, row.via_token,
+                row.proxied, row.caching, row.total, f"{row.ratio:.0%}",
+            )
+            for row in rows
+        ],
+        title="Transparent proxies recovered from Via headers / cache hits",
+    )
+    write_report("ext_proxies", table)
+
+    measured_tokens = {row.via_token for row in rows}
+    # Every planted deployment is recovered, and nothing else is.
+    assert measured_tokens == planted
+    for row in rows:
+        assert row.ratio > 0.85  # AS-wide deployments
+        if row.via_token == "tiscali-uk-wc7.proxy":
+            assert row.caching == 0  # header-only box
+        else:
+            assert row.caching > 0.8 * row.proxied  # shared caches visible

@@ -1,0 +1,31 @@
+"""Figure 3: the two-phase certificate scan timeline.
+
+The client iteratively tunnels to the three target classes and fetches
+certificates; a failed check triggers the full 33-site battery through the
+same exit node.
+"""
+
+from repro.core.experiments.https_mitm import HttpsMitmExperiment
+
+
+def test_fig3_https_scan_timeline(benchmark, bench_world, write_report):
+    experiment = HttpsMitmExperiment(bench_world, seed=212)
+
+    def traced_probe():
+        for _ in range(8):
+            timeline = experiment.trace_single_probe()
+            if sum("fetch certificate" in label for label in timeline.labels()) >= 3:
+                return timeline
+        raise AssertionError("no complete three-class probe in eight attempts")
+
+    timeline = benchmark(traced_probe)
+    write_report("fig3_https_timeline", timeline.render())
+
+    labels = timeline.labels()
+    tunnels = [label for label in labels if "CONNECT tunnel" in label]
+    fetches = [label for label in labels if "fetch certificate" in label]
+    # Initial phase: one tunnel + certificate fetch per site class.
+    assert len(tunnels) >= 3
+    assert len(fetches) == len(tunnels)
+    # Tunnel always precedes its certificate fetch.
+    assert labels.index(tunnels[0]) < labels.index(fetches[0])

@@ -1,0 +1,33 @@
+"""Figure 4: the content-monitoring measurement timeline.
+
+Client requests a unique domain (1), the proxy forwards it (2), the exit
+node fetches it (3); a monitoring party that observed the request (4) later
+re-fetches the same content from our server (5).
+"""
+
+from repro.core.experiments.monitoring import MonitoringExperiment
+
+
+def test_fig4_monitoring_timeline(benchmark, bench_world, write_report):
+    experiment = MonitoringExperiment(bench_world, seed=213)
+
+    def traced_probe():
+        for _ in range(8):
+            timeline = experiment.trace_single_probe()
+            if any("fetch content" in label for label in timeline.labels()):
+                return timeline
+        raise AssertionError("no complete probe in eight attempts")
+
+    timeline = benchmark(traced_probe)
+    write_report("fig4_monitoring_timeline", timeline.render())
+
+    labels = timeline.labels()
+    order = [
+        "client -> super proxy: request unique domain",
+        "super proxy -> exit node: forward request",
+        "exit node -> measurement server: fetch content",
+        "monitoring entity: observes request",
+        "monitoring entity -> measurement server: re-fetches content",
+    ]
+    positions = [labels.index(step) for step in order]
+    assert positions == sorted(positions), labels

@@ -1,0 +1,68 @@
+"""Figure 5: CDF of delay between the node's request and the unexpected one.
+
+Each entity's re-fetch schedule is a distinct curve; the assertions pin the
+qualitative features the paper calls out for each (the TrendMicro step at
+y=0.5, Bluecoat's negative start, AnchorFree's sub-second pair, the 30-second
+TalkTalk/Tiscali spikes).
+"""
+
+import pytest
+
+from repro.core import paper
+from repro.core.analysis import table9_monitoring
+from repro.core.reports import cdf_at, render_cdf_ascii
+
+
+def test_fig5_unexpected_request_delay_cdf(
+    benchmark, monitoring_dataset, bench_world, thresholds, write_report
+):
+    analysis = table9_monitoring(monitoring_dataset, bench_world.orgmap, thresholds)
+
+    def build_series():
+        series = {}
+        for org_name, entity in paper.MONITOR_ORG_TO_ENTITY.items():
+            if org_name in analysis.delays:
+                series[entity] = analysis.delays[org_name]
+        return series
+
+    series = benchmark(build_series)
+    art = render_cdf_ascii(series, title="Figure 5 — delay CDFs per monitoring entity")
+    notes = "\n".join(
+        f"  {entity}: {paper.FIGURE5_PROPERTIES[entity]}" for entity in series
+    )
+    write_report("fig5_delay_cdf", art + "\n\npaper-described features:\n" + notes)
+
+    assert set(series) == set(paper.MONITOR_ORG_TO_ENTITY.values())
+
+    trend = series["Trend Micro"]
+    # Two re-fetches: the first lands by ~150 s, the second after ~200 s —
+    # the CDF's step at y = 0.5.
+    assert cdf_at(trend, 150.0) == pytest.approx(0.5, abs=0.06)
+    assert cdf_at(trend, 12.0) < 0.05
+    assert cdf_at(trend, 13_000.0) > 0.99
+
+    talktalk = series["TalkTalk"]
+    # First request at almost exactly 30 s, second within the hour.
+    assert cdf_at(talktalk, 28.0) < 0.05
+    assert cdf_at(talktalk, 32.0) == pytest.approx(0.5, abs=0.06)
+    assert cdf_at(talktalk, 3_700.0) > 0.99
+
+    commtouch = series["Commtouch"]
+    # Single request, 1-10 minutes.
+    assert cdf_at(commtouch, 55.0) < 0.05
+    assert cdf_at(commtouch, 610.0) > 0.95
+
+    anchorfree = series["AnchorFree"]
+    # 99% of request pairs within one second.
+    assert cdf_at(anchorfree, 1.0) > 0.95
+
+    bluecoat = series["Bluecoat"]
+    # 83% of *first* requests precede the node's own request, so ~41.5% of
+    # all requests have negative delay — the CDF "starts at 41%".
+    assert cdf_at(bluecoat, 0.0) == pytest.approx(0.415, abs=0.1)
+
+    tiscali = series["Tiscali U.K."]
+    # A single request at almost exactly 30 seconds.
+    assert cdf_at(tiscali, 29.0) < 0.1
+    assert cdf_at(tiscali, 31.0) > 0.9
+

@@ -1,0 +1,65 @@
+"""Microbenchmarks: the substrates the crawls lean on hardest.
+
+These are throughput checks, not paper reproductions — they guard the
+pipeline's ability to run paper-scale crawls (millions of proxied requests)
+in minutes.
+"""
+
+import random
+
+import pytest
+
+from repro.net.ip import Prefix, PrefixTrie
+from repro.sim import WorldConfig, build_world
+from repro.sim.world import PROBE_ZONE
+from repro.web.jpeg import make_jpeg, transcode_to_ratio
+
+
+def test_perf_longest_prefix_match(benchmark):
+    """RouteViews-style LPM lookups (every record attribution does several)."""
+    trie = PrefixTrie()
+    rng = random.Random(1)
+    for index in range(20_000):
+        base = rng.randrange(2**32)
+        length = rng.choice((16, 20, 24))
+        network = base & (Prefix(0, length).mask())
+        trie.insert(Prefix(network, length), index)
+    probes = [rng.randrange(2**32) for _ in range(1_000)]
+
+    def lookups():
+        return sum(1 for ip in probes if trie.lookup(ip) is not None)
+
+    hits = benchmark(lookups)
+    assert 0 <= hits <= len(probes)
+
+
+def test_perf_proxied_request(benchmark, bench_world):
+    """End-to-end cost of one Luminati request (selection + DNS + fetch)."""
+    url = f"http://objects.{PROBE_ZONE}/"
+
+    def one_request():
+        return bench_world.client.request(url)
+
+    result = benchmark(one_request)
+    assert result.success or result.error is not None
+
+
+def test_perf_world_build(benchmark):
+    """World generation throughput at 2% scale (~18K hosts)."""
+
+    def build():
+        return build_world(WorldConfig(scale=0.02, seed=99, include_rare_tail=False))
+
+    world = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert world.truth.nodes_total > 10_000
+
+
+def test_perf_jpeg_transcode(benchmark):
+    """The transcoder path (runs once per compressed image fetch)."""
+    original = make_jpeg(39 * 1024)
+
+    def transcode():
+        return transcode_to_ratio(original, 0.5)
+
+    smaller = benchmark(transcode)
+    assert len(smaller) < len(original)

@@ -1,0 +1,62 @@
+"""Table 1: platform comparison.
+
+Our row is regenerated from the union of the four crawls; the other
+platforms' rows are the published constants.  The claim under test is the
+paper's: Luminati-style measurement reaches Netalyzr-class scale (nodes,
+ASes, countries) in days instead of years, at the cost of the ICMP column.
+"""
+
+from repro.core import paper
+from repro.core.reports import render_table
+
+
+def _our_row(dns_dataset, http_dataset, https_dataset, monitoring_dataset):
+    zids: set[str] = set()
+    ases: set[int] = set()
+    countries: set[str] = set()
+    for dataset in (dns_dataset, http_dataset, https_dataset, monitoring_dataset):
+        for record in dataset.records:
+            zids.add(record.zid)
+            if record.asn is not None:
+                ases.add(record.asn)
+            if record.country is not None:
+                countries.add(record.country)
+    return len(zids), len(ases), len(countries)
+
+
+def test_table1_platform_comparison(
+    benchmark, dns_dataset, http_dataset, https_dataset, monitoring_dataset,
+    bench_config, write_report,
+):
+    nodes, ases, countries = benchmark(
+        _our_row, dns_dataset, http_dataset, https_dataset, monitoring_dataset
+    )
+
+    check = lambda flag: "yes" if flag else "-"
+    rows = [
+        ("Our approach (measured)", nodes, ases, countries, "5 days", "-", "yes", "yes", "yes"),
+        (
+            "Our approach (paper)",
+            paper.TOTAL_NODES, paper.TOTAL_ASES, paper.TOTAL_COUNTRIES,
+            "5 days", "-", "yes", "yes", "yes",
+        ),
+    ] + [
+        (p.project, p.nodes, p.ases, p.countries, p.period,
+         check(p.icmp), check(p.dns), check(p.http), check(p.https))
+        for p in paper.TABLE1_OTHER_PLATFORMS
+    ]
+    table = render_table(
+        ("project", "nodes", "ASes", "countries", "period", "ICMP", "DNS", "HTTP", "HTTPS"),
+        rows,
+        title=f"Table 1 — platform comparison (world scale {bench_config.scale})",
+    )
+    write_report("table1_platforms", table)
+
+    scale = bench_config.scale
+    # Scale-adjusted node count beats every deployed-hardware/software
+    # platform except Netalyzr's six-year accumulation — the paper's claim.
+    assert nodes / scale > paper.TABLE1_OTHER_PLATFORMS[2].nodes  # Dasu
+    assert nodes / scale > paper.TABLE1_OTHER_PLATFORMS[3].nodes  # RIPE Atlas
+    assert nodes / scale > 0.6 * paper.TOTAL_NODES
+    # Country coverage is near-paper even at reduced scale.
+    assert countries > 0.8 * paper.TOTAL_COUNTRIES

@@ -1,0 +1,64 @@
+"""Table 2: exit nodes / ASes / countries per experiment."""
+
+from repro.core import paper
+from repro.core.reports import render_table, within_factor
+
+
+def _summaries(dns_dataset, http_dataset, https_dataset, monitoring_dataset):
+    return {
+        "DNS": (dns_dataset.node_count, dns_dataset.as_count(), dns_dataset.country_count()),
+        "HTTP": (http_dataset.node_count, http_dataset.as_count(), http_dataset.country_count()),
+        "HTTPS": (https_dataset.node_count, https_dataset.as_count(), https_dataset.country_count()),
+        "Monitoring": (
+            monitoring_dataset.node_count,
+            monitoring_dataset.as_count(),
+            monitoring_dataset.country_count(),
+        ),
+    }
+
+
+PAPER_ROWS = {
+    "DNS": (paper.DNS_NODES, paper.DNS_ASES, paper.DNS_COUNTRIES),
+    "HTTP": (paper.HTTP_NODES, paper.HTTP_ASES, paper.HTTP_COUNTRIES),
+    "HTTPS": (paper.HTTPS_NODES, paper.HTTPS_ASES, paper.HTTPS_COUNTRIES),
+    "Monitoring": (paper.MONITORING_NODES, paper.MONITORING_ASES, paper.MONITORING_COUNTRIES),
+}
+
+
+def test_table2_dataset_overview(
+    benchmark, dns_dataset, http_dataset, https_dataset, monitoring_dataset,
+    bench_config, write_report,
+):
+    summaries = benchmark(
+        _summaries, dns_dataset, http_dataset, https_dataset, monitoring_dataset
+    )
+
+    scale = bench_config.scale
+    table = render_table(
+        ("experiment", "nodes", "nodes/scale", "paper nodes", "ASes", "countries", "paper countries"),
+        [
+            (
+                name,
+                nodes,
+                round(nodes / scale),
+                PAPER_ROWS[name][0],
+                ases,
+                countries,
+                PAPER_ROWS[name][2],
+            )
+            for name, (nodes, ases, countries) in summaries.items()
+        ],
+        title="Table 2 — dataset overview per experiment",
+    )
+    write_report("table2_datasets", table)
+
+    # Shape: DNS/HTTPS/monitoring crawls measure the bulk of the network;
+    # the HTTP experiment's AS-sampling measures an order of magnitude less.
+    for name in ("DNS", "HTTPS", "Monitoring"):
+        nodes = summaries[name][0]
+        assert within_factor(PAPER_ROWS[name][0] * scale, nodes, 1.5), name
+    assert summaries["HTTP"][0] < 0.35 * summaries["DNS"][0]
+    # The HTTPS experiment reaches fewer countries (Alexa-limited), just as
+    # in the paper (115 vs 167).
+    assert summaries["HTTPS"][2] <= bench_config.alexa_countries
+    assert summaries["DNS"][2] > summaries["HTTPS"][2]

@@ -1,0 +1,61 @@
+"""Table 4: ISP resolvers hijacking >=90% of their exit nodes."""
+
+from repro.core import paper
+from repro.core.analysis import table4_isp_dns
+from repro.core.attribution import attribute_hijacking, classify_dns_servers
+from repro.core.reports import render_comparisons, Comparison, render_table, within_factor
+
+
+def test_table4_hijacking_isp_resolvers(
+    benchmark, dns_dataset, bench_world, bench_config, thresholds, write_report
+):
+    def analyse():
+        classification = classify_dns_servers(
+            dns_dataset, bench_world.routeviews, bench_world.orgmap, thresholds
+        )
+        return classification, table4_isp_dns(classification, bench_world.orgmap)
+
+    classification, rows = benchmark(analyse)
+
+    paper_by_isp = {isp: (cc, servers, nodes) for cc, isp, servers, nodes in paper.TABLE4}
+    scale = bench_config.scale
+    table = render_table(
+        ("country", "ISP", "servers", "nodes", "paper servers", "paper nodes (scaled)"),
+        [
+            (
+                row.country,
+                row.isp,
+                row.dns_servers,
+                row.exit_nodes,
+                paper_by_isp.get(row.isp, ("", "-", "-"))[1],
+                round(paper_by_isp[row.isp][2] * scale) if row.isp in paper_by_isp else "-",
+            )
+            for row in rows
+        ],
+        title="Table 4 — ISPs whose DNS servers hijack >=90% of exit nodes",
+    )
+    summary = attribute_hijacking(dns_dataset, classification, bench_world.orgmap)
+    attribution = render_comparisons(
+        [
+            Comparison("ISP DNS share", paper.DNS_ATTRIBUTION["isp"], round(summary.fraction("isp"), 3)),
+            Comparison("public DNS share", paper.DNS_ATTRIBUTION["public"], round(summary.fraction("public"), 3)),
+            Comparison("other share", paper.DNS_ATTRIBUTION["other"], round(summary.fraction("other"), 3)),
+        ],
+        title="§4.4 attribution of hijacked nodes",
+    )
+    write_report("table4_isp_dns", table + "\n\n" + attribution)
+
+    # Every surfaced ISP is one of the paper's 19 (no false discoveries).
+    for row in rows:
+        assert row.isp in paper_by_isp, row.isp
+        assert row.country == paper_by_isp[row.isp][0]
+    # The heavyweights always make the cut, with node counts on scale.
+    measured_isps = {row.isp: row for row in rows}
+    for isp in ("TalkTalk", "Verizon", "Cox Communications", "TMnet", "Oi Fixo"):
+        assert isp in measured_isps, isp
+        assert within_factor(
+            paper_by_isp[isp][2] * scale, measured_isps[isp].exit_nodes, 1.6
+        ), isp
+    # Attribution split reproduces (paper: 89.6 / 7.7 / 2.7).
+    assert abs(summary.fraction("isp") - paper.DNS_ATTRIBUTION["isp"]) < 0.07
+    assert abs(summary.fraction("public") - paper.DNS_ATTRIBUTION["public"]) < 0.05

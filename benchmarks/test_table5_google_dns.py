@@ -1,0 +1,59 @@
+"""Table 5: hijack landing domains seen by nodes that use Google DNS.
+
+These are the hijacks a DNS *server* cannot explain — the §4.3.3 residue
+attributed to ISP transparent proxies (domains confined to one ISP's ASes)
+and to end-host software (domains spread over many ASes/countries).
+"""
+
+from repro.core import paper
+from repro.core.attribution import google_dns_hijack_urls
+from repro.core.reports import render_table, within_factor
+
+
+def test_table5_google_dns_residue(
+    benchmark, dns_dataset, bench_world, bench_config, thresholds, write_report
+):
+    rows, victims = benchmark(
+        google_dns_hijack_urls, dns_dataset, bench_world.orgmap, thresholds
+    )
+
+    paper_by_domain = {d: (n, a, c) for d, n, a, c in paper.TABLE5}
+    scale = bench_config.scale
+    table = render_table(
+        ("domain", "nodes", "ASes", "category", "paper nodes (scaled)", "paper category"),
+        [
+            (
+                row.domain,
+                row.nodes,
+                row.ases,
+                row.category,
+                round(paper_by_domain[row.domain][0] * scale)
+                if row.domain in paper_by_domain
+                else "-",
+                paper_by_domain.get(row.domain, ("", "", "-"))[2],
+            )
+            for row in rows
+        ],
+        title=(
+            "Table 5 — landing domains for Google-DNS victims "
+            f"({victims} such nodes, paper: {paper.DNS_GOOGLE_HIJACKED_NODES})"
+        ),
+    )
+    write_report("table5_google_dns", table)
+
+    # The victim population is the paper's ~0.12% of measured nodes.
+    fraction = victims / dns_dataset.node_count
+    assert within_factor(
+        paper.DNS_GOOGLE_HIJACKED_NODES / paper.DNS_NODES, fraction, 2.5
+    )
+    # ISP-vs-software classification matches the paper for every shared row.
+    measured = {row.domain: row for row in rows}
+    for domain, row in measured.items():
+        if domain in paper_by_domain:
+            assert row.category == paper_by_domain[domain][2], domain
+    # The biggest ISP-path rows surface.
+    assert "navigationshilfe.t-online.de" in measured or "www.webaddresshelp.bt.com" in measured
+    # Host-software rows span many ASes when they appear.
+    for row in rows:
+        if row.category == "software":
+            assert row.ases >= max(2, row.nodes // 2)

@@ -1,0 +1,75 @@
+"""Table 8 + §6.2: issuers of replaced TLS certificates and their behaviours."""
+
+from repro.core import paper
+from repro.core.analysis import table8_issuers
+from repro.core.reports import Comparison, render_comparisons, render_table, within_factor
+
+
+def test_table8_certificate_issuers(
+    benchmark, https_dataset, bench_config, thresholds, write_report
+):
+    analysis = benchmark(table8_issuers, https_dataset, thresholds)
+
+    paper_by_issuer = {issuer: (nodes, type_) for issuer, nodes, type_ in paper.TABLE8}
+    scale = bench_config.scale
+    table = render_table(
+        ("issuer", "nodes", "type", "paper nodes (scaled)"),
+        [
+            (
+                row.issuer,
+                row.exit_nodes,
+                row.type,
+                round(paper_by_issuer[row.issuer][0] * scale)
+                if row.issuer in paper_by_issuer
+                else "-",
+            )
+            for row in analysis.rows
+        ],
+        title="Table 8 — most common issuers of replaced certificates",
+    )
+    replaced_fraction = https_dataset.replaced_count / https_dataset.node_count
+    headline = render_comparisons(
+        [
+            Comparison(
+                "nodes with replaced certs",
+                paper.HTTPS_REPLACED_NODES / paper.HTTPS_NODES,
+                round(replaced_fraction, 5),
+            ),
+            Comparison("unique issuer CNs", paper.HTTPS_UNIQUE_ISSUERS * scale, analysis.unique_issuer_cns),
+        ],
+        title="§6.2 headline",
+    )
+    behaviours = [
+        f"key reuse per node: { {k: round(v, 2) for k, v in sorted(analysis.key_reuse.items()) if k in paper_by_issuer} }",
+        f"re-sign invalid origins under the trusted issuer: {sorted(g for g in analysis.revalidates_invalid if g in paper_by_issuer)}",
+        f"selective interception observed: {sorted(g for g in analysis.selective if g in paper_by_issuer)}",
+    ]
+    write_report("table8_issuers", table + "\n\n" + headline + "\n\n" + "\n".join(behaviours))
+
+    measured = {row.issuer: row for row in analysis.rows}
+    # Avast dominates by an order of magnitude, as in the paper.
+    assert analysis.rows[0].issuer == "Avast"
+    assert analysis.rows[0].exit_nodes > 5 * analysis.rows[1].exit_nodes
+    # Product types match the paper's manual classification.
+    for issuer, row in measured.items():
+        if issuer in paper_by_issuer:
+            assert row.type == paper_by_issuer[issuer][1], issuer
+    # Per-node incidence on scale for the bigger rows (fractions compare
+    # cleanly across crawl coverage; raw counts depend on nodes measured).
+    for issuer in ("Avast", "AVG Technology", "BitDefender", "Eset SSL Filter"):
+        if issuer in measured:
+            paper_fraction = paper_by_issuer[issuer][0] / paper.HTTPS_NODES
+            measured_fraction = measured[issuer].exit_nodes / https_dataset.node_count
+            assert within_factor(paper_fraction, measured_fraction, 1.9), issuer
+    # §6.2 behaviours: everyone but Avast reuses one key per node.
+    assert analysis.key_reuse.get("Avast", 0.0) < 0.1
+    for product in ("Eset SSL Filter", "Kaspersky", "Cyberoam SSL"):
+        if product in analysis.key_reuse:
+            assert analysis.key_reuse[product] > 0.9, product
+    # Cyberoam/Eset/Kaspersky-style products re-sign invalid origins with
+    # their regular (host-trusted) issuer — the phishing hazard the paper
+    # calls out; Avast uses a separate untrusted issuer.
+    assert "Avast" not in analysis.revalidates_invalid
+    assert analysis.revalidates_invalid & {"Eset SSL Filter", "Kaspersky", "Cyberoam SSL", "McAfee", "Fortigate"}
+    # Headline fraction (paper: ~0.56%).
+    assert within_factor(paper.HTTPS_REPLACED_NODES / paper.HTTPS_NODES, replaced_fraction, 1.8)

@@ -1,0 +1,66 @@
+"""Table 9 + §7.2: content-monitoring entities."""
+
+from repro.core import paper
+from repro.core.analysis import table9_monitoring
+from repro.core.reports import Comparison, render_comparisons, render_table, within_factor
+
+
+def test_table9_monitoring_entities(
+    benchmark, monitoring_dataset, bench_world, bench_config, thresholds, write_report
+):
+    analysis = benchmark(table9_monitoring, monitoring_dataset, bench_world.orgmap, thresholds)
+
+    paper_by_entity = {e: (ips, nodes, ases, countries) for e, ips, nodes, ases, countries in paper.TABLE9}
+    scale = bench_config.scale
+    rows = []
+    for row in analysis.rows[:10]:
+        entity = paper.MONITOR_ORG_TO_ENTITY.get(row.entity, row.entity)
+        expected = paper_by_entity.get(entity)
+        rows.append(
+            (
+                entity,
+                row.source_ips,
+                row.exit_nodes,
+                row.ases,
+                row.countries,
+                expected[0] if expected else "-",
+                round(expected[1] * scale) if expected else "-",
+                expected[3] if expected else "-",
+            )
+        )
+    table = render_table(
+        ("entity", "IPs", "nodes", "ASes", "countries",
+         "paper IPs", "paper nodes (scaled)", "paper countries"),
+        rows,
+        title="Table 9 — sources of unexpected requests (content monitoring)",
+    )
+    monitored_fraction = analysis.monitored_nodes / monitoring_dataset.node_count
+    headline = render_comparisons(
+        [
+            Comparison("monitored fraction", paper.MONITORED_FRACTION, round(monitored_fraction, 4)),
+            Comparison("unexpected source IPs", paper.MONITORING_SOURCE_IPS, analysis.unexpected_source_ips),
+            Comparison("source AS groups", paper.MONITORING_AS_GROUPS, analysis.source_as_groups),
+        ],
+        title="§7.2 headline",
+    )
+    write_report("table9_monitoring", table + "\n\n" + headline)
+
+    measured = {
+        paper.MONITOR_ORG_TO_ENTITY.get(row.entity, row.entity): row
+        for row in analysis.rows
+    }
+    # All six named entities surface, with Trend Micro on top.
+    for entity in paper_by_entity:
+        assert entity in measured, entity
+    top = paper.MONITOR_ORG_TO_ENTITY.get(analysis.rows[0].entity, analysis.rows[0].entity)
+    assert top == "Trend Micro"
+    # Node counts on scale, single-country structure for the ISP monitors.
+    for entity, (ips, nodes, _ases, countries) in paper_by_entity.items():
+        row = measured[entity]
+        assert within_factor(nodes * scale, row.exit_nodes, 1.7), entity
+        if entity in ("TalkTalk", "Tiscali U.K."):
+            assert row.countries == 1, entity
+        if entity == "Trend Micro":
+            assert row.countries <= 13
+    # Monitored fraction near the paper's 1.5%.
+    assert within_factor(paper.MONITORED_FRACTION, monitored_fraction, 1.7)

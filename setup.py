@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this file lets ``pip install -e . --no-build-isolation``
+fall back to the legacy editable path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Tunneling for Transparency (IMC 2016) — reproduction library.
+
+A complete, self-contained reproduction of Chung, Choffnes & Mislove's
+measurement study of end-to-end connectivity violations, built on a
+simulated Internet (the paid Luminati proxy network is not available
+offline; see DESIGN.md for the substitution argument).
+
+Quickstart::
+
+    from repro import WorldConfig, build_world, DnsHijackExperiment
+    from repro.core.analysis import AnalysisThresholds, table3_country_hijack
+
+    world = build_world(WorldConfig(scale=0.05))
+    dataset = DnsHijackExperiment(world).run()
+    rows = table3_country_hijack(dataset, AnalysisThresholds.for_scale(0.05))
+
+The public surface:
+
+* :mod:`repro.sim` — world generation (``WorldConfig``, ``build_world``).
+* :mod:`repro.luminati` — the proxy-service simulator and client API.
+* :mod:`repro.core` — the measurement methodologies, attribution, analysis
+  and reporting (the paper's contribution).
+* :mod:`repro.net` / :mod:`repro.dnssim` / :mod:`repro.web` /
+  :mod:`repro.tlssim` / :mod:`repro.middlebox` — the substrates.
+"""
+
+from repro.sim import World, WorldConfig, build_world
+from repro.luminati import LuminatiClient
+from repro.core import (
+    AnalysisThresholds,
+    DnsHijackExperiment,
+    HttpModExperiment,
+    HttpsMitmExperiment,
+    MonitoringExperiment,
+)
+from repro.core.study import StudyResults, run_full_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "build_world",
+    "LuminatiClient",
+    "AnalysisThresholds",
+    "DnsHijackExperiment",
+    "HttpModExperiment",
+    "HttpsMitmExperiment",
+    "MonitoringExperiment",
+    "StudyResults",
+    "run_full_study",
+    "__version__",
+]

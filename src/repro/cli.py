@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the full pipeline without writing any code:
+
+* ``world-info`` — build a world and summarize its population;
+* ``run`` — run one (or all) of the paper's four experiments, print the
+  corresponding tables, and optionally save the dataset as JSON Lines;
+* ``report`` — re-print the tables for a previously saved dataset.
+
+Every command accepts ``--scale`` / ``--seed``; ``REPRO_SCALE`` is honoured
+when ``--scale`` is omitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core import export, paper
+from repro.core.analysis import (
+    AnalysisThresholds,
+    as_dispersion,
+    google_dns_concentration,
+    table3_country_hijack,
+    table4_isp_dns,
+    table6_js_injection,
+    table7_image_compression,
+    table8_issuers,
+    table9_monitoring,
+    table_http_proxies,
+)
+from repro.core.attribution import (
+    attribute_hijacking,
+    classify_dns_servers,
+    vendor_js_families,
+)
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.core.experiments.https_mitm import HttpsMitmExperiment
+from repro.core.experiments.monitoring import MonitoringExperiment
+from repro.core.reports import render_cdf_ascii, render_table
+from repro.sim import World, WorldConfig, build_world
+
+EXPERIMENTS = ("dns", "http", "https", "monitoring")
+
+
+def _build(args: argparse.Namespace) -> World:
+    config = WorldConfig.from_env(scale=args.scale, seed=args.seed)
+    print(f"building world (scale={config.scale}, seed={config.seed}) ...", flush=True)
+    started = time.perf_counter()
+    world = build_world(config)
+    print(
+        f"  {world.truth.nodes_total:,} hosts / {len(world.routeviews):,} ASes / "
+        f"{len(world.truth.nodes_by_country)} countries in "
+        f"{time.perf_counter() - started:.1f}s"
+    )
+    return world
+
+
+def _print_dns_report(world: World, dataset, thresholds: AnalysisThresholds) -> None:
+    rows = table3_country_hijack(dataset, thresholds)
+    print(
+        render_table(
+            ("country", "hijacked", "total", "ratio"),
+            [(r.country, r.hijacked, r.total, f"{r.ratio:.1%}") for r in rows[:10]],
+            title="\nTable 3 — top countries by hijack ratio",
+        )
+    )
+    classification = classify_dns_servers(dataset, world.routeviews, world.orgmap, thresholds)
+    isp_rows = table4_isp_dns(classification, world.orgmap)
+    print(
+        render_table(
+            ("country", "ISP", "servers", "nodes"),
+            [(r.country, r.isp, r.dns_servers, r.exit_nodes) for r in isp_rows],
+            title="\nTable 4 — hijacking ISP resolvers",
+        )
+    )
+    summary = attribute_hijacking(dataset, classification, world.orgmap)
+    print(
+        f"\n§4.4 attribution: ISP {summary.fraction('isp'):.1%} / "
+        f"public {summary.fraction('public'):.1%} / other {summary.fraction('other'):.1%} "
+        f"(paper: 89.6% / 7.7% / 2.7%)"
+    )
+    concentration = google_dns_concentration(dataset, world.orgmap)
+    if concentration:
+        top = concentration[0]
+        print(
+            f"footnote 9: {len(concentration)} ASes with >=80% Google-DNS usage "
+            f"(top: {top.isp} at {top.ratio:.1%})"
+        )
+    families = vendor_js_families(dataset, world.orgmap)
+    if families:
+        family = families[0]
+        print(
+            f"shared vendor package ({family.family}): deployed by "
+            f"{', '.join(family.isps)}"
+        )
+    dispersion = as_dispersion((r.asn, r.hijacked) for r in dataset.records)
+    print(
+        f"AS dispersion: {dispersion.clean_fraction:.0%} of ASes clean, "
+        f"{dispersion.groups_over_third} ASes with >1/3 of nodes hijacked"
+    )
+
+
+def _print_http_report(world: World, dataset, thresholds: AnalysisThresholds) -> None:
+    analysis = table6_js_injection(dataset, world.corpus, thresholds)
+    print(
+        render_table(
+            ("marker", "nodes", "countries", "ASes"),
+            [(r.marker, r.nodes, r.countries, r.ases) for r in analysis.rows[:10]],
+            title="\nTable 6 — injected-JavaScript markers",
+        )
+    )
+    rows = table7_image_compression(dataset, world.corpus, world.orgmap, thresholds)
+    print(
+        render_table(
+            ("AS", "ISP", "cc", "mod", "total", "ratio", "cmp"),
+            [
+                (
+                    r.asn, r.isp, r.country, r.modified, r.total, f"{r.ratio:.0%}",
+                    "M" if r.multiple_ratios else f"{r.compression_ratios[0]:.0%}",
+                )
+                for r in rows
+            ],
+            title="\nTable 7 — mobile image compression",
+        )
+    )
+    proxies = table_http_proxies(dataset, world.orgmap, thresholds)
+    if proxies:
+        print(
+            render_table(
+                ("AS", "ISP", "via token", "proxied", "caching", "total"),
+                [
+                    (r.asn, r.isp, r.via_token, r.proxied, r.caching, r.total)
+                    for r in proxies
+                ],
+                title="\nTransparent proxies (Via headers / shared caches)",
+            )
+        )
+
+
+def _print_https_report(world: World, dataset, thresholds: AnalysisThresholds) -> None:
+    analysis = table8_issuers(dataset, thresholds)
+    print(
+        render_table(
+            ("issuer", "nodes", "type"),
+            [(r.issuer, r.exit_nodes, r.type) for r in analysis.rows],
+            title="\nTable 8 — issuers of replaced certificates",
+        )
+    )
+    print(
+        f"\n{dataset.replaced_count} of {dataset.node_count} nodes "
+        f"({dataset.replaced_count / max(1, dataset.node_count):.2%}) saw replacement "
+        f"(paper: {paper.HTTPS_REPLACED_NODES / paper.HTTPS_NODES:.2%})"
+    )
+
+
+def _print_monitoring_report(world: World, dataset, thresholds: AnalysisThresholds) -> None:
+    analysis = table9_monitoring(dataset, world.orgmap, thresholds)
+    print(
+        render_table(
+            ("entity", "IPs", "nodes", "ASes", "countries"),
+            [
+                (r.entity, r.source_ips, r.exit_nodes, r.ases, r.countries)
+                for r in analysis.rows[:8]
+            ],
+            title="\nTable 9 — content-monitoring entities",
+        )
+    )
+    series = {
+        paper.MONITOR_ORG_TO_ENTITY.get(org, org): delays
+        for org, delays in analysis.delays.items()
+        if org in paper.MONITOR_ORG_TO_ENTITY
+    }
+    if series:
+        print()
+        print(render_cdf_ascii(series, title="Figure 5 — re-fetch delay CDFs"))
+
+
+_RUNNERS = {
+    "dns": (DnsHijackExperiment, export.save_dns_dataset, _print_dns_report),
+    "http": (HttpModExperiment, export.save_http_dataset, _print_http_report),
+    "https": (HttpsMitmExperiment, export.save_https_dataset, _print_https_report),
+    "monitoring": (
+        MonitoringExperiment, export.save_monitoring_dataset, _print_monitoring_report,
+    ),
+}
+
+_LOADERS = {
+    "dns": (export.load_dns_dataset, _print_dns_report),
+    "http": (export.load_http_dataset, _print_http_report),
+    "https": (export.load_https_dataset, _print_https_report),
+    "monitoring": (export.load_monitoring_dataset, _print_monitoring_report),
+}
+
+
+def _cmd_world_info(args: argparse.Namespace) -> int:
+    world = _build(args)
+    truth = world.truth
+    top = truth.nodes_by_country.most_common(8)
+    print(
+        render_table(
+            ("country", "hosts"), top, title="\nlargest exit-node populations"
+        )
+    )
+    print(f"\nplanted hijack vectors: {dict(truth.hijack_by_vector)}")
+    print(f"resolvers: {truth.resolver_count:,}; external-DNS hosts: {truth.external_dns_nodes:,}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    world = _build(args)
+    thresholds = AnalysisThresholds.for_scale(world.config.scale)
+    wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in wanted:
+        experiment_cls, save, report = _RUNNERS[name]
+        print(f"\n=== {name} experiment ===", flush=True)
+        started = time.perf_counter()
+        dataset = experiment_cls(world).run()
+        print(
+            f"{dataset.node_count:,} nodes measured in "
+            f"{time.perf_counter() - started:.1f}s"
+        )
+        report(world, dataset, thresholds)
+        if out_dir is not None:
+            path = out_dir / f"{name}.jsonl"
+            save(dataset, path)
+            print(f"dataset written to {path}")
+    ledger = world.client.ledger
+    print(
+        f"\ntraffic: {ledger.total_gb:.3f} GB over {ledger.requests:,} requests "
+        f"(~${ledger.estimated_cost_usd():.2f} at Luminati list price); "
+        f"ethics cap violations: {len(ledger.violations())}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    loader, report = _LOADERS[args.experiment]
+    dataset = loader(args.dataset)
+    # Reports that need world context (org names, corpus) rebuild the world
+    # the dataset was measured on — the same scale/seed must be passed.
+    world = _build(args)
+    thresholds = AnalysisThresholds.for_scale(world.config.scale)
+    report(world, dataset, thresholds)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tunneling for Transparency (IMC 2016) reproduction pipeline",
+    )
+    parser.add_argument("--scale", type=float, default=0.02, help="world scale (1.0 = paper)")
+    parser.add_argument("--seed", type=int, default=20160413, help="world seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("world-info", help="build a world and summarize it")
+
+    run = sub.add_parser("run", help="run experiments and print their tables")
+    run.add_argument(
+        "--experiment", choices=EXPERIMENTS + ("all",), default="all",
+        help="which methodology to run",
+    )
+    run.add_argument("--out", help="directory for JSONL dataset dumps")
+
+    report = sub.add_parser("report", help="re-print tables for a saved dataset")
+    report.add_argument("--experiment", choices=EXPERIMENTS, required=True)
+    report.add_argument("--dataset", required=True, help="JSONL file from `run --out`")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "world-info": _cmd_world_info,
+        "run": _cmd_run,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: measurement methodologies, attribution, analysis.
+
+* :mod:`repro.core.crawler` — exit-node sampling with the §3.2 stopping rule.
+* :mod:`repro.core.experiments` — the four measurement methodologies
+  (DNS NXDOMAIN hijacking §4, HTTP content modification §5, SSL certificate
+  replacement §6, content monitoring §7).
+* :mod:`repro.core.attribution` — who is responsible (§4.3, §5.2, §6.2, §7.2).
+* :mod:`repro.core.analysis` — the aggregations behind every table.
+* :mod:`repro.core.reports` — text rendering of tables/figures and
+  paper-vs-measured comparison.
+* :mod:`repro.core.paper` — the published numbers, as data.
+"""
+
+from repro.core.crawler import CrawlController, CrawlStats
+from repro.core.analysis import AnalysisThresholds
+from repro.core.experiments.dns_hijack import DnsHijackExperiment, DnsDataset, DnsProbeRecord
+from repro.core.experiments.http_mod import HttpModExperiment, HttpDataset, HttpProbeRecord
+from repro.core.experiments.https_mitm import (
+    HttpsMitmExperiment,
+    HttpsDataset,
+    HttpsProbeRecord,
+    SiteResult,
+)
+from repro.core.experiments.monitoring import (
+    MonitoringExperiment,
+    MonitoringDataset,
+    MonitorProbeRecord,
+)
+
+__all__ = [
+    "CrawlController",
+    "CrawlStats",
+    "AnalysisThresholds",
+    "DnsHijackExperiment",
+    "DnsDataset",
+    "DnsProbeRecord",
+    "HttpModExperiment",
+    "HttpDataset",
+    "HttpProbeRecord",
+    "HttpsMitmExperiment",
+    "HttpsDataset",
+    "HttpsProbeRecord",
+    "SiteResult",
+    "MonitoringExperiment",
+    "MonitoringDataset",
+    "MonitorProbeRecord",
+]

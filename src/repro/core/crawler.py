@@ -1,0 +1,146 @@
+"""Exit-node sampling and the crawl stopping rule (§3.2).
+
+Luminati does not allow enumerating exit nodes, so the paper crawls: pick a
+country in proportion to the exit-node counts Luminati reports, pick a fresh
+session number (which yields a new node), and repeat "until the rate of new
+exit nodes we discover drops significantly".  :class:`CrawlController`
+packages that loop's shared state — country weighting, zID deduplication,
+the sliding-window new-node rate, and request budgeting — so each experiment
+only supplies its per-node measurement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.luminati.service import LuminatiClient
+
+#: Sliding window length (probes) for the new-node rate.
+DEFAULT_WINDOW = 400
+#: Stop when fewer than this fraction of recent probes found a new node.
+DEFAULT_STOP_THRESHOLD = 0.12
+
+
+@dataclass
+class CrawlStats:
+    """Bookkeeping for one crawl: probes issued, nodes found, stop reason."""
+
+    probes: int = 0
+    failures: int = 0
+    new_nodes: int = 0
+    repeats: int = 0
+    stop_reason: str = ""
+    seen_zids: set[str] = field(default_factory=set)
+
+    @property
+    def unique_nodes(self) -> int:
+        """Distinct exit nodes observed."""
+        return len(self.seen_zids)
+
+
+class CrawlController:
+    """Drives country-proportional sampling with the §3.2 stopping rule.
+
+    Parameters
+    ----------
+    client:
+        The Luminati client (used for reported per-country node counts).
+    seed:
+        Seeds the crawl's own randomness (country picks, site picks).
+    country_filter:
+        When given, only these countries are crawled (the HTTPS experiment
+        is limited to countries with Alexa rankings, §6.2).
+    max_probes:
+        Hard budget; ``None`` means run until the stopping rule fires.
+    """
+
+    def __init__(
+        self,
+        client: LuminatiClient,
+        seed: int = 0,
+        country_filter: Optional[Sequence[str]] = None,
+        window: int = DEFAULT_WINDOW,
+        stop_threshold: float = DEFAULT_STOP_THRESHOLD,
+        max_probes: Optional[int] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        if not 0.0 <= stop_threshold <= 1.0:
+            raise ValueError(f"stop_threshold out of range: {stop_threshold}")
+        self.client = client
+        self.rng = random.Random(f"crawl:{seed}")
+        self.stats = CrawlStats()
+        self._window = deque(maxlen=window)
+        self._window_size = window
+        self._stop_threshold = stop_threshold
+        self._max_probes = max_probes
+        self._session_counter = itertools.count(1)
+        self._session_prefix = f"s{seed}"
+
+        reported = client.reported_countries()
+        if country_filter is not None:
+            allowed = set(country_filter)
+            reported = {cc: count for cc, count in reported.items() if cc in allowed}
+        if not reported:
+            raise ValueError("no crawlable countries")
+        self._countries: list[str] = []
+        self._cumweights: list[int] = []
+        total = 0
+        for country, count in reported.items():
+            if count <= 0:
+                continue
+            total += count
+            self._countries.append(country)
+            self._cumweights.append(total)
+
+    # -- sampling -------------------------------------------------------------
+
+    def next_country(self) -> str:
+        """A country drawn proportionally to reported node counts (§3.2)."""
+        total = self._cumweights[-1]
+        index = bisect.bisect_right(self._cumweights, self.rng.randrange(total))
+        return self._countries[index]
+
+    def next_session(self) -> str:
+        """A fresh session identifier (forces Luminati to pick a new node)."""
+        return f"{self._session_prefix}-{next(self._session_counter)}"
+
+    # -- stopping rule ----------------------------------------------------------
+
+    def record_probe(self, zid: Optional[str]) -> bool:
+        """Record one probe's outcome.
+
+        ``zid`` is the exit node that served it (``None`` for failed probes).
+        Returns ``True`` when the node had not been seen before.
+        """
+        self.stats.probes += 1
+        if zid is None:
+            self.stats.failures += 1
+            self._window.append(0)
+            return False
+        is_new = zid not in self.stats.seen_zids
+        if is_new:
+            self.stats.seen_zids.add(zid)
+            self.stats.new_nodes += 1
+        else:
+            self.stats.repeats += 1
+        self._window.append(1 if is_new else 0)
+        return is_new
+
+    @property
+    def should_stop(self) -> bool:
+        """Whether the crawl should end (budget exhausted or rate collapsed)."""
+        if self._max_probes is not None and self.stats.probes >= self._max_probes:
+            self.stats.stop_reason = "budget"
+            return True
+        if len(self._window) >= self._window_size:
+            rate = sum(self._window) / len(self._window)
+            if rate < self._stop_threshold:
+                self.stats.stop_reason = "rate"
+                return True
+        return False

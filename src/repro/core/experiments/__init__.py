@@ -1,0 +1,13 @@
+"""The four measurement methodologies (paper §4-§7)."""
+
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.core.experiments.https_mitm import HttpsMitmExperiment
+from repro.core.experiments.monitoring import MonitoringExperiment
+
+__all__ = [
+    "DnsHijackExperiment",
+    "HttpModExperiment",
+    "HttpsMitmExperiment",
+    "MonitoringExperiment",
+]

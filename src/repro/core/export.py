@@ -1,0 +1,259 @@
+"""Dataset serialization.
+
+The paper released its analysis code and data; this module provides the
+equivalent for the reproduction: every experiment dataset can be written to
+(and re-read from) JSON Lines, so analyses can run on a saved crawl without
+rebuilding the world.  Binary payloads (hijack pages, modified bodies) are
+base64-encoded; record order is preserved.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pathlib
+from typing import Iterable, Union
+
+from repro.core.experiments.dns_hijack import DnsDataset, DnsProbeRecord
+from repro.core.experiments.http_mod import HttpDataset, HttpProbeRecord
+from repro.core.experiments.https_mitm import HttpsDataset, HttpsProbeRecord, SiteResult
+from repro.core.experiments.monitoring import (
+    MonitoringDataset,
+    MonitorProbeRecord,
+    UnexpectedRequest,
+)
+from repro.web.content import ObjectKind
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _encode(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _decode(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+def _write_lines(path: PathLike, header: dict, rows: Iterable[dict]) -> int:
+    target = pathlib.Path(path)
+    count = 0
+    with target.open("w", encoding="ascii") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+            count += 1
+    return count
+
+
+def _read_lines(path: PathLike, expected_kind: str) -> tuple[dict, list[dict]]:
+    lines = pathlib.Path(path).read_text(encoding="ascii").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty dataset file")
+    header = json.loads(lines[0])
+    if header.get("kind") != expected_kind:
+        raise ValueError(
+            f"{path}: expected a {expected_kind!r} dataset, got {header.get('kind')!r}"
+        )
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+# -- DNS ---------------------------------------------------------------------
+
+
+def save_dns_dataset(dataset: DnsDataset, path: PathLike) -> int:
+    """Write a §4 dataset; returns the number of records written."""
+    header = {
+        "kind": "dns",
+        "filtered_google_overlap": dataset.filtered_google_overlap,
+        "probes": dataset.probes,
+        "unique_dns_servers": dataset.unique_dns_servers,
+    }
+    rows = (
+        {
+            "zid": r.zid,
+            "exit_ip": r.exit_ip,
+            "asn": r.asn,
+            "country": r.country,
+            "dns_server_ip": r.dns_server_ip,
+            "dns_server_asn": r.dns_server_asn,
+            "hijacked": r.hijacked,
+            "page": _encode(r.page),
+        }
+        for r in dataset.records
+    )
+    return _write_lines(path, header, rows)
+
+
+def load_dns_dataset(path: PathLike) -> DnsDataset:
+    """Read a §4 dataset written by :func:`save_dns_dataset`."""
+    header, rows = _read_lines(path, "dns")
+    dataset = DnsDataset(
+        filtered_google_overlap=header["filtered_google_overlap"],
+        probes=header["probes"],
+        unique_dns_servers=header["unique_dns_servers"],
+    )
+    for row in rows:
+        dataset.records.append(
+            DnsProbeRecord(
+                zid=row["zid"],
+                exit_ip=row["exit_ip"],
+                asn=row["asn"],
+                country=row["country"],
+                dns_server_ip=row["dns_server_ip"],
+                dns_server_asn=row["dns_server_asn"],
+                hijacked=row["hijacked"],
+                page=_decode(row["page"]),
+            )
+        )
+    return dataset
+
+
+# -- HTTP --------------------------------------------------------------------
+
+
+def save_http_dataset(dataset: HttpDataset, path: PathLike) -> int:
+    """Write a §5 dataset; returns the number of records written."""
+    header = {
+        "kind": "http",
+        "probes": dataset.probes,
+        "flagged_ases": sorted(dataset.flagged_ases),
+    }
+    rows = (
+        {
+            "zid": r.zid,
+            "exit_ip": r.exit_ip,
+            "asn": r.asn,
+            "country": r.country,
+            "modified": {kind.value: _encode(body) for kind, body in r.modified_bodies.items()},
+            "fetched_all": r.fetched_all,
+            "via_token": r.via_token,
+            "cached_dynamic": r.cached_dynamic,
+        }
+        for r in dataset.records
+    )
+    return _write_lines(path, header, rows)
+
+
+def load_http_dataset(path: PathLike) -> HttpDataset:
+    """Read a §5 dataset written by :func:`save_http_dataset`."""
+    header, rows = _read_lines(path, "http")
+    dataset = HttpDataset(
+        probes=header["probes"], flagged_ases=set(header["flagged_ases"])
+    )
+    for row in rows:
+        dataset.records.append(
+            HttpProbeRecord(
+                zid=row["zid"],
+                exit_ip=row["exit_ip"],
+                asn=row["asn"],
+                country=row["country"],
+                modified_bodies={
+                    ObjectKind(kind): _decode(body) for kind, body in row["modified"].items()
+                },
+                fetched_all=row["fetched_all"],
+                via_token=row.get("via_token", ""),
+                cached_dynamic=row.get("cached_dynamic", False),
+            )
+        )
+    return dataset
+
+
+# -- HTTPS -------------------------------------------------------------------
+
+
+def save_https_dataset(dataset: HttpsDataset, path: PathLike) -> int:
+    """Write a §6 dataset; returns the number of records written."""
+    header = {"kind": "https", "probes": dataset.probes}
+    rows = (
+        {
+            "zid": r.zid,
+            "exit_ip": r.exit_ip,
+            "asn": r.asn,
+            "country": r.country,
+            "full_scan": r.full_scan,
+            "sites": [
+                {
+                    "domain": s.domain,
+                    "site_class": s.site_class,
+                    "replaced": s.replaced,
+                    "issuer_cn": s.issuer_cn,
+                    "leaf_key_id": s.leaf_key_id,
+                    "chain_valid": s.chain_valid,
+                    "origin_invalid_kind": s.origin_invalid_kind,
+                }
+                for s in r.sites
+            ],
+        }
+        for r in dataset.records
+    )
+    return _write_lines(path, header, rows)
+
+
+def load_https_dataset(path: PathLike) -> HttpsDataset:
+    """Read a §6 dataset written by :func:`save_https_dataset`."""
+    header, rows = _read_lines(path, "https")
+    dataset = HttpsDataset(probes=header["probes"])
+    for row in rows:
+        dataset.records.append(
+            HttpsProbeRecord(
+                zid=row["zid"],
+                exit_ip=row["exit_ip"],
+                asn=row["asn"],
+                country=row["country"],
+                full_scan=row["full_scan"],
+                sites=tuple(SiteResult(**site) for site in row["sites"]),
+            )
+        )
+    return dataset
+
+
+# -- Monitoring --------------------------------------------------------------
+
+
+def save_monitoring_dataset(dataset: MonitoringDataset, path: PathLike) -> int:
+    """Write a §7 dataset; returns the number of records written."""
+    header = {"kind": "monitoring", "probes": dataset.probes}
+    rows = (
+        {
+            "zid": r.zid,
+            "reported_ip": r.reported_ip,
+            "asn": r.asn,
+            "country": r.country,
+            "domain": r.domain,
+            "node_request_time": r.node_request_time,
+            "node_request_ip": r.node_request_ip,
+            "unexpected": [
+                {
+                    "source_ip": u.source_ip,
+                    "time": u.time,
+                    "delay": u.delay,
+                    "user_agent": u.user_agent,
+                    "asn": u.asn,
+                }
+                for u in r.unexpected
+            ],
+        }
+        for r in dataset.records
+    )
+    return _write_lines(path, header, rows)
+
+
+def load_monitoring_dataset(path: PathLike) -> MonitoringDataset:
+    """Read a §7 dataset written by :func:`save_monitoring_dataset`."""
+    header, rows = _read_lines(path, "monitoring")
+    dataset = MonitoringDataset(probes=header["probes"])
+    for row in rows:
+        dataset.records.append(
+            MonitorProbeRecord(
+                zid=row["zid"],
+                reported_ip=row["reported_ip"],
+                asn=row["asn"],
+                country=row["country"],
+                domain=row["domain"],
+                node_request_time=row["node_request_time"],
+                node_request_ip=row["node_request_ip"],
+                unexpected=tuple(UnexpectedRequest(**u) for u in row["unexpected"]),
+            )
+        )
+    return dataset

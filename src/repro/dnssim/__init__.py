@@ -1,0 +1,36 @@
+"""DNS substrate: messages, authoritative serving, recursive resolution, hijacking.
+
+The NXDOMAIN-hijacking methodology (paper §4) requires a DNS ecosystem with
+several interacting parties:
+
+* Our **authoritative server** (:mod:`repro.dnssim.authoritative`) answers for
+  the measurement domains, including the source-IP-conditional answers that
+  trick Luminati's super proxy, and logs every query it receives (the query
+  log is how the methodology learns each exit node's resolver IP).
+* **Recursive resolvers** (:mod:`repro.dnssim.resolver`) model ISP resolvers,
+  public services (Google, OpenDNS, Comodo...), and malware-operated
+  resolvers.  A resolver may carry a hijack policy that rewrites NXDOMAIN
+  answers into A records pointing at an ad/search page.
+* **Hijack policies** (:mod:`repro.dnssim.hijack`) describe who rewrites the
+  answer and what landing page the victim is sent to; the landing-page HTML
+  embeds the URLs that the paper's attribution step later extracts (Table 5).
+"""
+
+from repro.dnssim.message import RCode, DnsQuery, DnsResponse, QueryLogEntry
+from repro.dnssim.authoritative import AuthoritativeServer, DnsRoot, RecordPolicy
+from repro.dnssim.hijack import HijackPolicy, render_hijack_page
+from repro.dnssim.resolver import RecursiveResolver, GooglePublicDns
+
+__all__ = [
+    "RCode",
+    "DnsQuery",
+    "DnsResponse",
+    "QueryLogEntry",
+    "AuthoritativeServer",
+    "DnsRoot",
+    "RecordPolicy",
+    "HijackPolicy",
+    "render_hijack_page",
+    "RecursiveResolver",
+    "GooglePublicDns",
+]

@@ -1,0 +1,153 @@
+"""Authoritative DNS serving and the domain registry.
+
+The measurement methodology controls an authoritative server and registers
+per-probe domain names under it.  Two behaviours from §4.1 are essential:
+
+* **Source-conditional answers** — for the second probe domain *d2*, the
+  server returns a valid A record only when the query's source IP is inside
+  the allow-list (the super proxy's Google resolver netblock), and NXDOMAIN to
+  everyone else.  This is what convinces Luminati to forward the request while
+  still delivering an NXDOMAIN to the exit node's own resolver.
+* **Query logging** — the server records the source IP of every query, which
+  is how the methodology learns which resolver each exit node uses.
+
+:class:`DnsRoot` is the glue between resolvers and authoritative servers: a
+registry mapping registered zones to the server that answers for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.clock import SimClock
+from repro.dnssim.message import (
+    DnsQuery,
+    DnsResponse,
+    QueryLog,
+    RCode,
+    normalize_name,
+)
+
+SourcePredicate = Callable[[int], bool]
+
+
+@dataclass(slots=True)
+class RecordPolicy:
+    """How the authoritative server answers for one name.
+
+    ``address`` is the A record returned when the policy allows it.  When
+    ``allow_source`` is set, queries from non-matching sources get NXDOMAIN —
+    this implements the paper's conditional *d2* answer.
+    """
+
+    address: int
+    allow_source: Optional[SourcePredicate] = None
+
+    def answer_for(self, source_ip: int) -> DnsResponse:
+        """Resolve the policy for a query from ``source_ip``."""
+        if self.allow_source is not None and not self.allow_source(source_ip):
+            return DnsResponse.nxdomain()
+        return DnsResponse.answer(self.address)
+
+
+class AuthoritativeServer:
+    """An authoritative server for one or more zones, with a query log.
+
+    Names can be registered exactly (``register``) or the whole zone can fall
+    through to a default policy (``set_zone_default``) — the monitoring
+    experiment (§7) mints thousands of unique per-node subdomains, all
+    pointing at the measurement web server, without registering each one.
+    Unregistered names without a default yield NXDOMAIN.
+    """
+
+    def __init__(self, zone: str, clock: SimClock) -> None:
+        self.zone = normalize_name(zone)
+        self._clock = clock
+        self._records: dict[str, RecordPolicy] = {}
+        self._zone_default: Optional[RecordPolicy] = None
+        self.log = QueryLog()
+
+    def in_zone(self, qname: str) -> bool:
+        """Whether this server is authoritative for ``qname``."""
+        name = normalize_name(qname)
+        return name == self.zone or name.endswith("." + self.zone)
+
+    def register(self, qname: str, policy: RecordPolicy) -> None:
+        """Install an answer policy for an exact name inside the zone."""
+        name = normalize_name(qname)
+        if not self.in_zone(name):
+            raise ValueError(f"{name} is outside zone {self.zone}")
+        self._records[name] = policy
+
+    def register_a(
+        self,
+        qname: str,
+        address: int,
+        allow_source: Optional[SourcePredicate] = None,
+    ) -> None:
+        """Convenience wrapper: install a (possibly conditional) A record."""
+        self.register(qname, RecordPolicy(address=address, allow_source=allow_source))
+
+    def set_zone_default(self, policy: RecordPolicy) -> None:
+        """Answer policy applied to any in-zone name without an exact record."""
+        self._zone_default = policy
+
+    def query(self, query: DnsQuery) -> DnsResponse:
+        """Answer a query, recording it in the log."""
+        name = query.qname
+        if not self.in_zone(name):
+            response = DnsResponse.servfail()
+        else:
+            policy = self._records.get(name, self._zone_default)
+            if policy is None:
+                response = DnsResponse.nxdomain()
+            else:
+                response = policy.answer_for(query.source_ip)
+        self.log.append(
+            _log_entry(self._clock.now, name, query.source_ip, response.rcode)
+        )
+        return response
+
+
+def _log_entry(time: float, qname: str, source_ip: int, rcode: RCode):
+    """Build a query-log entry (kept as a function for test monkeypatching)."""
+    from repro.dnssim.message import QueryLogEntry
+
+    return QueryLogEntry(time=time, qname=qname, source_ip=source_ip, rcode=rcode)
+
+
+class DnsRoot:
+    """Registry of authoritative servers by zone.
+
+    Stands in for the global DNS delegation hierarchy: a resolver hands a
+    query to :meth:`resolve_authoritative`, which routes it to the most
+    specific registered zone.  Names under no registered zone are NXDOMAIN —
+    the simulated universe only contains names someone serves.
+    """
+
+    def __init__(self) -> None:
+        self._servers: dict[str, AuthoritativeServer] = {}
+
+    def register(self, server: AuthoritativeServer) -> None:
+        """Register a server as authoritative for its zone."""
+        if server.zone in self._servers:
+            raise ValueError(f"zone {server.zone} already delegated")
+        self._servers[server.zone] = server
+
+    def authoritative_for(self, qname: str) -> Optional[AuthoritativeServer]:
+        """The server for the most specific zone containing ``qname``, or ``None``."""
+        labels = normalize_name(qname).split(".")
+        for start in range(len(labels)):
+            zone = ".".join(labels[start:])
+            server = self._servers.get(zone)
+            if server is not None:
+                return server
+        return None
+
+    def resolve_authoritative(self, qname: str, source_ip: int, now: float) -> DnsResponse:
+        """Route a query to the owning authoritative server (NXDOMAIN if none)."""
+        server = self.authoritative_for(qname)
+        if server is None:
+            return DnsResponse.nxdomain()
+        return server.query(DnsQuery(qname=qname, source_ip=source_ip, time=now))

@@ -1,0 +1,124 @@
+"""DNS message model.
+
+Only the slice of DNS the paper exercises is modelled: A-record queries and
+responses carrying either answers or an NXDOMAIN/SERVFAIL status.  Domain
+names are lower-cased on construction so comparisons are case-insensitive, as
+in real DNS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RCode(enum.Enum):
+    """DNS response codes used in the simulation."""
+
+    NOERROR = 0
+    SERVFAIL = 2
+    NXDOMAIN = 3
+
+
+def normalize_name(name: str) -> str:
+    """Canonical form of a domain name: lower case, no trailing dot."""
+    return name.rstrip(".").lower()
+
+
+@dataclass(frozen=True, slots=True)
+class DnsQuery:
+    """An A-record query as seen by a server: the name asked and who asked.
+
+    ``source_ip`` is the address the query arrived from — for a query reaching
+    an authoritative server through a recursive resolver this is the
+    *resolver's* egress address, which is exactly the signal the paper uses to
+    identify each exit node's DNS server.
+    """
+
+    qname: str
+    source_ip: int
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", normalize_name(self.qname))
+
+
+@dataclass(frozen=True, slots=True)
+class DnsResponse:
+    """An answer: response code plus zero or more A-record addresses."""
+
+    rcode: RCode
+    addresses: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rcode is RCode.NOERROR and not self.addresses:
+            raise ValueError("NOERROR response must carry at least one address")
+        if self.rcode is not RCode.NOERROR and self.addresses:
+            raise ValueError(f"{self.rcode.name} response must not carry addresses")
+
+    @classmethod
+    def answer(cls, *addresses: int) -> "DnsResponse":
+        """A NOERROR response with the given A records."""
+        return cls(RCode.NOERROR, tuple(addresses))
+
+    @classmethod
+    def nxdomain(cls) -> "DnsResponse":
+        """An NXDOMAIN (name does not exist) response."""
+        return cls(RCode.NXDOMAIN)
+
+    @classmethod
+    def servfail(cls) -> "DnsResponse":
+        """A SERVFAIL response."""
+        return cls(RCode.SERVFAIL)
+
+    @property
+    def is_nxdomain(self) -> bool:
+        """Whether this response reports that the name does not exist."""
+        return self.rcode is RCode.NXDOMAIN
+
+    @property
+    def first_address(self) -> int:
+        """The first A record; raises :class:`ValueError` on non-answers."""
+        if not self.addresses:
+            raise ValueError(f"no addresses in {self.rcode.name} response")
+        return self.addresses[0]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryLogEntry:
+    """One line of an authoritative server's query log."""
+
+    time: float
+    qname: str
+    source_ip: int
+    rcode: RCode
+
+
+@dataclass(slots=True)
+class QueryLog:
+    """Append-only query log kept by the measurement authoritative server.
+
+    A per-name index keeps :meth:`for_name` O(matches): the NXDOMAIN
+    methodology queries the log once per probe, and the log grows to
+    millions of entries over a crawl.
+    """
+
+    entries: list[QueryLogEntry] = field(default_factory=list)
+    _by_name: dict[str, list[int]] = field(default_factory=dict)
+
+    def append(self, entry: QueryLogEntry) -> None:
+        """Record one served query."""
+        self._by_name.setdefault(entry.qname, []).append(len(self.entries))
+        self.entries.append(entry)
+
+    def for_name(self, qname: str) -> list[QueryLogEntry]:
+        """All log entries whose query name matches ``qname`` exactly."""
+        indexes = self._by_name.get(normalize_name(qname), ())
+        return [self.entries[i] for i in indexes]
+
+    def sources_for_name(self, qname: str) -> list[int]:
+        """Source IPs that asked for ``qname``, in arrival order."""
+        return [entry.source_ip for entry in self.for_name(qname)]
+
+    def __len__(self) -> int:
+        return len(self.entries)

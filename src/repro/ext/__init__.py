@@ -1,0 +1,31 @@
+"""Extensions beyond the paper's evaluation.
+
+The paper closes §3.4 with: *"we could extend our methodologies for VPNs
+that allow arbitrary traffic to be sent, enabling us to capture end-to-end
+connectivity violations in protocols like SMTP; we leave exploring this
+further to future work."*  This package implements that future work:
+
+* :mod:`repro.ext.arbitrary_vpn` — a VPN service with the Hola network's
+  footprint but no port restriction (raw TCP tunnels);
+* :mod:`repro.ext.smtp_study` — the STARTTLS-stripping experiment built on
+  it, with planting helpers and per-AS analysis.
+"""
+
+from repro.ext.arbitrary_vpn import ArbitraryVpnService, RawTunnel
+from repro.ext.smtp_study import (
+    StartTlsExperiment,
+    StartTlsDataset,
+    deploy_smtp_measurement_server,
+    plant_striptls_boxes,
+    table_striptls_by_as,
+)
+
+__all__ = [
+    "ArbitraryVpnService",
+    "RawTunnel",
+    "StartTlsExperiment",
+    "StartTlsDataset",
+    "deploy_smtp_measurement_server",
+    "plant_striptls_boxes",
+    "table_striptls_by_as",
+]

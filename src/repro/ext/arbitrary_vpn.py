@@ -1,0 +1,85 @@
+"""A VPN service with the Hola footprint but no port restriction.
+
+Luminati only proxies HTTP and CONNECT-to-443 (§2.2); the §3.4 extension
+needs "VPNs that allow arbitrary traffic to be sent".  This service reuses
+the same exit-node pool (the interesting property is the *footprint*, not
+the protocol) but opens raw TCP tunnels to any port.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.hosts import ExitNodeHost
+from repro.luminati.errors import NoPeersError
+from repro.luminati.registry import ExitNodeRegistry, RegisteredNode
+from repro.smtpsim.session import SmtpDialogue
+
+#: Same retry budget as Luminati's super proxy.
+MAX_ATTEMPTS = 5
+
+
+class RawTunnel:
+    """A raw TCP tunnel through one exit node."""
+
+    def __init__(self, node: RegisteredNode, dest_ip: int, port: int) -> None:
+        self._node = node
+        self.dest_ip = dest_ip
+        self.port = port
+        self._open = True
+
+    @property
+    def zid(self) -> str:
+        """The exit node's persistent identifier."""
+        return self._node.zid
+
+    @property
+    def exit_ip(self) -> int:
+        """The exit node's address."""
+        return self._node.host.ip
+
+    @property
+    def host(self) -> ExitNodeHost:
+        """The underlying end host (extension protocols dispatch on it)."""
+        return self._node.host
+
+    def smtp_probe(self, try_starttls: bool = True) -> SmtpDialogue:
+        """Run an SMTP dialogue through the tunnel (port 25)."""
+        if not self._open:
+            raise ConnectionError("tunnel is closed")
+        return self._node.host.smtp_dialogue(self.dest_ip, try_starttls=try_starttls)
+
+    def close(self) -> None:
+        """Tear the tunnel down."""
+        self._open = False
+
+
+class ArbitraryVpnService:
+    """Client API for the hypothetical arbitrary-traffic VPN."""
+
+    def __init__(self, registry: ExitNodeRegistry, seed: int = 0) -> None:
+        self._registry = registry
+        self._rng = random.Random(f"arbvpn:{seed}")
+
+    def reported_countries(self) -> dict[str, int]:
+        """Per-country node counts, for crawl weighting."""
+        return self._registry.countries()
+
+    def open_raw_tunnel(
+        self, dest_ip: int, port: int, country: Optional[str] = None
+    ) -> RawTunnel:
+        """Open a raw TCP tunnel via some exit node (any port).
+
+        Retries through up to five nodes, like Luminati; raises
+        :class:`NoPeersError` when none answers.
+        """
+        for _attempt in range(MAX_ATTEMPTS):
+            try:
+                node = self._registry.pick(self._rng, country)
+            except LookupError as exc:
+                raise NoPeersError(str(exc)) from exc
+            if self._registry.is_offline(node, self._rng):
+                continue
+            return RawTunnel(node=node, dest_ip=dest_ip, port=port)
+        raise NoPeersError(f"no exit node available (country={country!r})")

@@ -1,0 +1,177 @@
+"""End-host model: the machines running Hola that Luminati exits through.
+
+An :class:`ExitNodeHost` owns everything that shapes what a measurement sees
+through that node:
+
+* its **identity** — the persistent ``zid`` Luminati exposes in debug
+  headers, the current IP, and the AS it is attached to;
+* its **resolver configuration** — the one recursive resolver its stub
+  resolver is pointed at (ISP-provided, public, or malware-installed);
+* its **ISP path** — DNS rewriters, HTML modifiers, image transcoders, TLS
+  interceptors, and monitors deployed in the access network;
+* its **installed software** — the same hook types, but living on the host
+  (AV suites, adware, VPN clients).
+
+Traffic ordering matters and is preserved: outbound requests pass host
+software first, then the ISP path; inbound responses pass the ISP path
+first, then host software.  TLS chains are intercepted closest-to-server
+first, so a host-level AV proxy sees (and replaces) whatever an ISP box
+already substituted — matching reality, where the browser talks to the AV
+proxy which talks outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.dnssim.message import DnsResponse
+from repro.dnssim.resolver import RecursiveResolver
+from repro.fabric import Internet
+from repro.middlebox.base import (
+    DnsResponseRewriter,
+    HttpResponseModifier,
+    RequestMonitor,
+    TlsChainInterceptor,
+    stable_choice,
+)
+from repro.tlssim.certs import CertificateChain
+from repro.web.http import HttpRequest, HttpResponse
+
+
+class HostDnsError(Exception):
+    """Raised when a host cannot resolve the name it was asked to fetch."""
+
+    def __init__(self, qname: str, response: DnsResponse) -> None:
+        super().__init__(f"DNS failure for {qname}: {response.rcode.name}")
+        self.qname = qname
+        self.response = response
+
+
+@dataclass(slots=True)
+class ExitNodeHost:
+    """One Hola-running end host."""
+
+    zid: str
+    ip: int
+    asn: int
+    resolver: RecursiveResolver
+    internet: Internet
+    # ISP path hooks (shared middlebox objects).
+    path_dns_rewriters: tuple[DnsResponseRewriter, ...] = ()
+    path_http_modifiers: tuple[HttpResponseModifier, ...] = ()
+    path_tls_interceptors: tuple[TlsChainInterceptor, ...] = ()
+    path_monitors: tuple[RequestMonitor, ...] = ()
+    # Installed software hooks.
+    host_dns_rewriters: tuple[DnsResponseRewriter, ...] = ()
+    host_http_modifiers: tuple[HttpResponseModifier, ...] = ()
+    host_tls_interceptors: tuple[TlsChainInterceptor, ...] = ()
+    host_monitors: tuple[RequestMonitor, ...] = ()
+    #: In-path SMTP interceptors (STARTTLS strippers; §3.4 extension).
+    path_smtp_strippers: tuple = ()
+    #: When set, HTTP traffic egresses from these VPN POP addresses instead of
+    #: the host's own IP (the AnchorFree / Hotspot Shield pattern, §7.2.1).
+    vpn_egress_ips: tuple[int, ...] = ()
+    #: Planted ground-truth labels — written by the world builder, read ONLY
+    #: by tests comparing planted truth against measured results.  The
+    #: measurement/attribution pipeline never touches this.
+    truth: dict = field(default_factory=dict)
+
+    # -- DNS ----------------------------------------------------------------
+
+    def resolve(self, qname: str) -> DnsResponse:
+        """Resolve a name the way this host would: resolver, then rewriters."""
+        response = self.resolver.resolve(qname, self.ip)
+        for rewriter in self.path_dns_rewriters:
+            response = rewriter.rewrite_dns(qname, response, self.zid)
+        for rewriter in self.host_dns_rewriters:
+            response = rewriter.rewrite_dns(qname, response, self.zid)
+        return response
+
+    # -- HTTP ---------------------------------------------------------------
+
+    def egress_ip_for(self, host: str) -> int:
+        """The source address a server sees for this host's request to ``host``."""
+        if self.vpn_egress_ips:
+            return stable_choice(self.vpn_egress_ips, "vpn", self.zid, host)
+        return self.ip
+
+    def fetch_http(
+        self,
+        host: str,
+        path: str = "/",
+        dest_ip: Optional[int] = None,
+        user_agent: str = "Mozilla/5.0 (HolaExit)",
+    ) -> HttpResponse:
+        """Fetch ``http://host/path`` as this node would.
+
+        When ``dest_ip`` is provided (Luminati's default: the super proxy
+        already resolved the name), the host skips its own resolution;
+        otherwise it resolves through its configured path and raises
+        :class:`HostDnsError` on failure.
+        """
+        if dest_ip is None:
+            answer = self.resolve(host)
+            if answer.is_nxdomain or not answer.addresses:
+                raise HostDnsError(host, answer)
+            dest_ip = answer.first_address
+
+        now = self.internet.clock.now
+        request = HttpRequest(
+            host=host,
+            path=path,
+            source_ip=self.egress_ip_for(host),
+            time=now,
+            user_agent=user_agent,
+        )
+        hold = 0.0
+        for monitor in self.host_monitors:
+            hold += monitor.observe_request(request, dest_ip, self.zid, self.internet)
+        for monitor in self.path_monitors:
+            hold += monitor.observe_request(request, dest_ip, self.zid, self.internet)
+        if hold > 0.0:
+            request = replace(request, time=now + hold)
+
+        response = self.internet.http_fetch(dest_ip, request)
+        for modifier in self.path_http_modifiers:
+            response = modifier.modify_response(request, response, self.zid)
+        for modifier in self.host_http_modifiers:
+            response = modifier.modify_response(request, response, self.zid)
+        return response
+
+    # -- TLS ----------------------------------------------------------------
+
+    def tls_handshake(self, dest_ip: int, port: int, server_name: str) -> CertificateChain:
+        """The certificate chain a TLS client on this host would receive."""
+        chain = self.internet.tls_chain(dest_ip, port, server_name)
+        now = self.internet.clock.now
+        for interceptor in self.path_tls_interceptors:
+            chain = interceptor.intercept_chain(server_name, chain, self.zid, now)
+        for interceptor in self.host_tls_interceptors:
+            chain = interceptor.intercept_chain(server_name, chain, self.zid, now)
+        return chain
+
+    # -- SMTP (§3.4 extension) -----------------------------------------------
+
+    def smtp_dialogue(self, dest_ip: int, try_starttls: bool = True):
+        """Speak SMTP to a server as this host would, through any strippers."""
+        server = self.internet.smtp_server_at(dest_ip)
+        dialogue = server.handle_dialogue(try_starttls)
+        for stripper in self.path_smtp_strippers:
+            dialogue = stripper.filter_dialogue(dialogue, self.zid)
+        return dialogue
+
+    # -- convenience --------------------------------------------------------
+
+    def add_software(
+        self,
+        dns_rewriters: Sequence[DnsResponseRewriter] = (),
+        http_modifiers: Sequence[HttpResponseModifier] = (),
+        tls_interceptors: Sequence[TlsChainInterceptor] = (),
+        monitors: Sequence[RequestMonitor] = (),
+    ) -> None:
+        """Install software hooks on this host (world-builder helper)."""
+        self.host_dns_rewriters += tuple(dns_rewriters)
+        self.host_http_modifiers += tuple(http_modifiers)
+        self.host_tls_interceptors += tuple(tls_interceptors)
+        self.host_monitors += tuple(monitors)

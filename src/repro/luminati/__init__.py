@@ -1,0 +1,38 @@
+"""The Luminati proxy service, simulated API-faithfully.
+
+Everything the paper's methodology touches is implemented:
+
+* **super proxy** request handling, including the DNS pre-check through
+  Google's resolver that the NXDOMAIN methodology must defeat (§4.1);
+* **exit-node selection** by ``-country-XX`` and ``-session-XXX`` username
+  parameters, with the 60-second session binding window (§2.3);
+* **remote DNS** (``-dns-remote``): resolution moves from the super proxy to
+  the exit node's own resolver;
+* **automatic retries** (up to five exit nodes) with the per-attempt zIDs
+  and failure reasons exposed in the ``X-Hola-Timeline-Debug`` header;
+* **CONNECT tunnels** restricted to port 443, over which the client runs its
+  own TLS handshake (§2.3 "HTTPS").
+"""
+
+from repro.luminati.errors import LuminatiError, NoPeersError, TunnelPortError
+from repro.luminati.headers import TimelineDebug, AttemptRecord
+from repro.luminati.session import SessionTable
+from repro.luminati.registry import ExitNodeRegistry, RegisteredNode
+from repro.luminati.superproxy import SuperProxy, ProxyOptions, ProxyResult
+from repro.luminati.service import LuminatiClient, Tunnel
+
+__all__ = [
+    "LuminatiError",
+    "NoPeersError",
+    "TunnelPortError",
+    "TimelineDebug",
+    "AttemptRecord",
+    "SessionTable",
+    "ExitNodeRegistry",
+    "RegisteredNode",
+    "SuperProxy",
+    "ProxyOptions",
+    "ProxyResult",
+    "LuminatiClient",
+    "Tunnel",
+]

@@ -1,0 +1,64 @@
+"""Traffic accounting: Luminati's per-GB billing and the paper's ethics cap.
+
+Two real constraints shaped the study and are modelled here:
+
+* **"Luminati clients are charged on a per-GB basis"** (§2.3) — the meter
+  tracks bytes returned through the proxy, per exit node and in total, and
+  prices the study.
+* **"For each exit node ... we never downloaded more than 1 MB across all
+  of our experiments"** (§3.4, Ethics) — the ledger makes that commitment
+  auditable: after any set of crawls, :meth:`TrafficLedger.violations`
+  returns every node whose traffic exceeded the cap (an empty list is the
+  compliance proof the tests assert).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+#: §3.4's per-exit-node commitment.
+ETHICS_CAP_BYTES = 1_000_000
+
+#: Luminati's list price at the time of the study (USD per GB, static zone).
+PRICE_PER_GB_USD = 25.0
+
+
+@dataclass
+class TrafficLedger:
+    """Bytes transferred per exit node, with billing and compliance views."""
+
+    bytes_by_zid: Counter = field(default_factory=Counter)
+    requests: int = 0
+
+    def record(self, zid: str, byte_count: int) -> None:
+        """Account one response's bytes against an exit node."""
+        if byte_count < 0:
+            raise ValueError(f"negative byte count {byte_count}")
+        self.bytes_by_zid[zid] += byte_count
+        self.requests += 1
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes transferred through the service."""
+        return sum(self.bytes_by_zid.values())
+
+    @property
+    def total_gb(self) -> float:
+        """Total transfer in GB (the billing unit)."""
+        return self.total_bytes / 1e9
+
+    def estimated_cost_usd(self, price_per_gb: float = PRICE_PER_GB_USD) -> float:
+        """What this study would have cost at Luminati's per-GB price."""
+        return self.total_gb * price_per_gb
+
+    def violations(self, cap_bytes: int = ETHICS_CAP_BYTES) -> list[tuple[str, int]]:
+        """Exit nodes whose total traffic exceeded the ethics cap."""
+        return sorted(
+            ((zid, count) for zid, count in self.bytes_by_zid.items() if count > cap_bytes),
+            key=lambda item: -item[1],
+        )
+
+    def heaviest(self, top: int = 5) -> list[tuple[str, int]]:
+        """The most-used exit nodes (for the audit report)."""
+        return self.bytes_by_zid.most_common(top)

@@ -1,0 +1,19 @@
+"""Luminati service errors."""
+
+from __future__ import annotations
+
+
+class LuminatiError(Exception):
+    """Base class for Luminati service failures."""
+
+
+class NoPeersError(LuminatiError):
+    """No exit node could serve the request after all retries."""
+
+
+class TunnelPortError(LuminatiError):
+    """CONNECT was attempted to a port other than 443 (§2.3: rejected)."""
+
+
+class BadRequestError(LuminatiError):
+    """The client sent a malformed request (bad URL, unknown country...)."""

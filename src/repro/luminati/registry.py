@@ -1,0 +1,153 @@
+"""The pool of Hola exit nodes and Luminati's selection behaviour.
+
+Luminati does not let clients enumerate exit nodes (§3.2): a client can only
+ask for *a* node in a country and observe which zID it got.  The registry
+reproduces the observable selection behaviour:
+
+* requests with a country parameter draw from that country's pool; requests
+  without one draw from the global pool weighted by country size;
+* the service prefers idle nodes — modelled as a per-country rotation through
+  a shuffled order — but the network is dynamic, so a fraction of picks are
+  uniformly random, producing the repeats that drive the crawler's stopping
+  rule ("we iteratively request new exit nodes until we begin seeing many of
+  the exit nodes we have already seen before");
+* any node can be momentarily offline when picked (per-node flakiness),
+  which is what triggers Luminati's automatic retries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hosts import ExitNodeHost
+
+#: Fraction of picks that are uniform-random instead of rotation-based.
+DEFAULT_REPEAT_FRACTION = 0.3
+
+
+@dataclass(slots=True)
+class RegisteredNode:
+    """A Hola client registered as a Luminati exit node."""
+
+    host: ExitNodeHost
+    country: str
+    #: Per-attempt probability the node is offline when picked.
+    flakiness: float = 0.03
+
+    @property
+    def zid(self) -> str:
+        """The node's persistent identifier."""
+        return self.host.zid
+
+
+class _CountryPool:
+    """Rotation state for one country's nodes."""
+
+    __slots__ = ("nodes", "order", "cursor", "epoch")
+
+    def __init__(self) -> None:
+        self.nodes: list[RegisteredNode] = []
+        self.order: list[int] = []
+        self.cursor = 0
+        self.epoch = 0
+
+
+class ExitNodeRegistry:
+    """All registered exit nodes, with Luminati's selection semantics."""
+
+    def __init__(self, seed: int = 0, repeat_fraction: float = DEFAULT_REPEAT_FRACTION) -> None:
+        if not 0.0 <= repeat_fraction <= 1.0:
+            raise ValueError(f"repeat_fraction out of range: {repeat_fraction}")
+        self._pools: dict[str, _CountryPool] = {}
+        self._by_zid: dict[str, RegisteredNode] = {}
+        self._seed = seed
+        self._repeat_fraction = repeat_fraction
+        self._country_names: list[str] = []
+        self._country_cumweights: list[int] = []
+        self._weights_dirty = False
+
+    def add(self, host: ExitNodeHost, country: str, flakiness: float = 0.03) -> RegisteredNode:
+        """Register a node; zIDs must be unique."""
+        if host.zid in self._by_zid:
+            raise ValueError(f"duplicate zid {host.zid}")
+        if not 0.0 <= flakiness < 1.0:
+            raise ValueError(f"flakiness out of range: {flakiness}")
+        node = RegisteredNode(host=host, country=country, flakiness=flakiness)
+        pool = self._pools.setdefault(country, _CountryPool())
+        pool.nodes.append(node)
+        self._by_zid[host.zid] = node
+        self._weights_dirty = True
+        return node
+
+    def __len__(self) -> int:
+        return len(self._by_zid)
+
+    def by_zid(self, zid: str) -> Optional[RegisteredNode]:
+        """Look a node up by its persistent identifier."""
+        return self._by_zid.get(zid)
+
+    def countries(self) -> dict[str, int]:
+        """Node counts per country — what Luminati 'reports' to clients (§3.2)."""
+        return {country: len(pool.nodes) for country, pool in self._pools.items()}
+
+    def _rebuild_weights(self) -> None:
+        self._country_names = []
+        self._country_cumweights = []
+        total = 0
+        for country, pool in self._pools.items():
+            if not pool.nodes:
+                continue
+            total += len(pool.nodes)
+            self._country_names.append(country)
+            self._country_cumweights.append(total)
+        self._weights_dirty = False
+
+    def _pick_country(self, rng: random.Random) -> str:
+        if self._weights_dirty:
+            self._rebuild_weights()
+        if not self._country_names:
+            raise LookupError("no exit nodes registered")
+        total = self._country_cumweights[-1]
+        index = bisect.bisect_right(self._country_cumweights, rng.randrange(total))
+        return self._country_names[index]
+
+    def pick(self, rng: random.Random, country: Optional[str] = None) -> RegisteredNode:
+        """Select an exit node the way Luminati would.
+
+        Raises :class:`LookupError` when the requested country has no nodes.
+        """
+        if country is None:
+            country = self._pick_country(rng)
+        pool = self._pools.get(country)
+        if pool is None or not pool.nodes:
+            raise LookupError(f"no exit nodes in country {country!r}")
+
+        if rng.random() < self._repeat_fraction:
+            return pool.nodes[rng.randrange(len(pool.nodes))]
+
+        if pool.cursor >= len(pool.order):
+            # Start a new rotation epoch with a fresh shuffle (the pool is
+            # dynamic: order changes between passes).
+            pool.order = list(range(len(pool.nodes)))
+            shuffle_rng = random.Random(f"{self._seed}:{country}:{pool.epoch}")
+            shuffle_rng.shuffle(pool.order)
+            pool.cursor = 0
+            pool.epoch += 1
+        node = pool.nodes[pool.order[pool.cursor]]
+        pool.cursor += 1
+        return node
+
+    def is_offline(
+        self, node: RegisteredNode, rng: random.Random, dampen: float = 1.0
+    ) -> bool:
+        """Whether the node turns out to be unavailable for this attempt.
+
+        ``dampen`` scales the probability down; the super proxy uses it for
+        session-pinned nodes, which were serving moments ago and are far
+        less likely to have churned than a cold pick.
+        """
+        probability = node.flakiness * dampen
+        return probability > 0 and rng.random() < probability

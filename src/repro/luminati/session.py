@@ -1,0 +1,68 @@
+"""Session stickiness (§2.3 "Exit node selection").
+
+Appending ``-session-XXX`` to the Luminati username pins subsequent requests
+to the same exit node, provided they arrive within 60 seconds; a different
+session number (or an expired binding) selects a fresh node.  The NXDOMAIN
+methodology leans on this: the *d1* request discovers a node, and the *d2*
+request must reach the *same* node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.clock import SimClock
+
+#: §2.3: a session binding survives 60 seconds between requests.
+SESSION_WINDOW_SECONDS = 60.0
+
+
+@dataclass(slots=True)
+class _Binding:
+    zid: str
+    expires_at: float
+
+
+class SessionTable:
+    """Maps client session identifiers to pinned exit nodes with expiry."""
+
+    def __init__(self, clock: SimClock, window: float = SESSION_WINDOW_SECONDS) -> None:
+        if window <= 0:
+            raise ValueError(f"session window must be positive: {window}")
+        self._clock = clock
+        self._window = window
+        self._bindings: dict[str, _Binding] = {}
+
+    def lookup(self, session: str) -> Optional[str]:
+        """The pinned zID for a session, or ``None`` if absent/expired.
+
+        Expired bindings are dropped on access (lazily), so the table does
+        not grow with dead sessions faster than clients create them.
+        """
+        binding = self._bindings.get(session)
+        if binding is None:
+            return None
+        if binding.expires_at < self._clock.now:
+            del self._bindings[session]
+            return None
+        return binding.zid
+
+    def bind(self, session: str, zid: str) -> None:
+        """Pin (or re-pin) a session to an exit node, refreshing the window."""
+        self._bindings[session] = _Binding(
+            zid=zid, expires_at=self._clock.now + self._window
+        )
+
+    def touch(self, session: str) -> None:
+        """Refresh an existing binding's expiry (each use extends the window)."""
+        binding = self._bindings.get(session)
+        if binding is not None and binding.expires_at >= self._clock.now:
+            binding.expires_at = self._clock.now + self._window
+
+    def drop(self, session: str) -> None:
+        """Forget a binding (e.g. after its node went permanently offline)."""
+        self._bindings.pop(session, None)
+
+    def __len__(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,309 @@
+"""The Luminati super proxy.
+
+All client traffic enters here (§2.3): the super proxy resolves the target
+domain through Google's DNS (the pre-check the NXDOMAIN methodology must
+defeat), selects an exit node honouring the ``-country``/``-session``
+username parameters, forwards the request, retries through up to five nodes
+on failure, and returns the response together with the
+``X-Hola-Timeline-Debug`` header.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dnssim.resolver import GooglePublicDns
+from repro.fabric import Internet, UnreachableError
+from repro.hosts import HostDnsError
+from repro.luminati.billing import TrafficLedger
+from repro.luminati.errors import BadRequestError, TunnelPortError
+from repro.luminati.headers import HEADER_NAME, AttemptRecord, TimelineDebug
+from repro.luminati.registry import ExitNodeRegistry, RegisteredNode
+from repro.luminati.session import SessionTable
+from repro.net.ip import IpError, ip_to_str, str_to_ip
+from repro.tracing import Tracer
+
+#: §2.3: Luminati retries failed requests with up to five exit nodes total.
+MAX_ATTEMPTS = 5
+
+# Error identifiers surfaced in ProxyResult.error.
+ERROR_SUPERPROXY_DNS = "superproxy_dns_failure"
+ERROR_EXIT_DNS_NXDOMAIN = "exit_dns_nxdomain"
+ERROR_NO_PEERS = "no_peers"
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyOptions:
+    """Per-request controls expressed via Luminati username parameters."""
+
+    country: Optional[str] = None
+    session: Optional[str] = None
+    dns_remote: bool = False
+
+    @classmethod
+    def from_username(cls, username: str) -> "ProxyOptions":
+        """Parse ``lum-customer-X[-country-xx][-session-N][-dns-remote]``."""
+        tokens = username.split("-")
+        country: Optional[str] = None
+        session: Optional[str] = None
+        dns_remote = False
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "country" and index + 1 < len(tokens):
+                country = tokens[index + 1].upper()
+                index += 2
+            elif token == "session" and index + 1 < len(tokens):
+                session = tokens[index + 1]
+                index += 2
+            elif token == "dns" and index + 1 < len(tokens) and tokens[index + 1] == "remote":
+                dns_remote = True
+                index += 2
+            else:
+                index += 1
+        return cls(country=country, session=session, dns_remote=dns_remote)
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyResult:
+    """What a Luminati client gets back for one proxied request."""
+
+    status: Optional[int]
+    body: bytes
+    error: Optional[str]
+    debug: Optional[TimelineDebug]
+    headers: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def success(self) -> bool:
+        """Whether the request produced an HTTP response through an exit node."""
+        return self.error is None and self.status is not None
+
+    @property
+    def is_nxdomain(self) -> bool:
+        """Whether the exit node's own resolution said the name does not exist."""
+        return self.error == ERROR_EXIT_DNS_NXDOMAIN
+
+    def header(self, name: str) -> Optional[str]:
+        """Case-insensitive response-header lookup."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+
+def split_http_url(url: str) -> tuple[str, str]:
+    """Split ``http://host/path`` into (host, path); rejects non-http schemes."""
+    prefix = "http://"
+    if not url.startswith(prefix):
+        raise BadRequestError(f"only http:// URLs may be proxied, got {url!r}")
+    rest = url[len(prefix):]
+    host, slash, path = rest.partition("/")
+    if not host:
+        raise BadRequestError(f"URL has no host: {url!r}")
+    return host.lower(), "/" + path if slash else "/"
+
+
+class SuperProxy:
+    """zproxy.luminati.org, simulated."""
+
+    def __init__(
+        self,
+        ip: int,
+        internet: Internet,
+        registry: ExitNodeRegistry,
+        google: GooglePublicDns,
+        seed: int = 0,
+        pacing_seconds: float = 0.05,
+    ) -> None:
+        self.ip = ip
+        self._internet = internet
+        self._registry = registry
+        self._google = google
+        self._rng = random.Random(f"superproxy:{seed}")
+        self._sessions = SessionTable(internet.clock)
+        self.pacing_seconds = pacing_seconds
+        self.requests_served = 0
+        #: Per-GB billing meter and §3.4 ethics ledger.
+        self.ledger = TrafficLedger()
+
+    @property
+    def registry(self) -> ExitNodeRegistry:
+        """The exit-node pool this super proxy selects from."""
+        return self._registry
+
+    # -- helpers ------------------------------------------------------------
+
+    def _advance_time(self) -> None:
+        """Each request takes a little wall-clock time; monitors may fire."""
+        if self.pacing_seconds > 0:
+            self._internet.advance(self.pacing_seconds)
+
+    #: How much less likely a session-pinned node is to be offline than a
+    #: cold pick — it was serving this very session moments ago.
+    PINNED_FLAKINESS_DAMPEN = 0.1
+
+    def _select_node(
+        self,
+        options: ProxyOptions,
+        exclude_zids: set[str],
+    ) -> tuple[Optional[RegisteredNode], bool]:
+        """Pick a node honouring session pinning, skipping excluded zIDs.
+
+        Returns ``(node, pinned)``; ``pinned`` is True when the node came
+        from an existing session binding.
+        """
+        if options.session is not None:
+            pinned = self._sessions.lookup(options.session)
+            if pinned is not None and pinned not in exclude_zids:
+                node = self._registry.by_zid(pinned)
+                if node is not None:
+                    self._sessions.touch(options.session)
+                    return node, True
+        for _ in range(8):  # bounded re-draws around excluded nodes
+            try:
+                node = self._registry.pick(self._rng, options.country)
+            except LookupError:
+                return None, False
+            if node.zid not in exclude_zids:
+                if options.session is not None:
+                    self._sessions.bind(options.session, node.zid)
+                return node, False
+        return None, False
+
+    def _debug(self, node: Optional[RegisteredNode], attempts: list[AttemptRecord]) -> TimelineDebug:
+        return TimelineDebug(
+            zid=node.zid if node is not None else "none",
+            exit_ip=ip_to_str(node.host.ip) if node is not None else "",
+            attempts=tuple(attempts),
+        )
+
+    # -- HTTP proxying --------------------------------------------------------
+
+    def handle_request(
+        self,
+        options: ProxyOptions,
+        url: str,
+        tracer: Optional[Tracer] = None,
+    ) -> ProxyResult:
+        """Proxy one HTTP request through an exit node (Figure 1's timeline)."""
+        trace = tracer if tracer is not None else Tracer()
+        self._advance_time()
+        self.requests_served += 1
+        host, path = split_http_url(url)
+        trace.add("client", "proxy request", "super proxy", url)
+
+        # DNS pre-check / default resolution at the super proxy via Google.
+        resolved_ip: Optional[int] = None
+        try:
+            resolved_ip = str_to_ip(host)
+            literal = True
+        except IpError:
+            literal = False
+        if not literal:
+            trace.add("super proxy", "DNS request via Google", "authoritative DNS", host)
+            answer = self._google.resolve_for_superproxy(host, self.ip)
+            if answer.is_nxdomain or not answer.addresses:
+                trace.add("super proxy", "DNS failure, request rejected", "client")
+                return ProxyResult(
+                    status=None, body=b"", error=ERROR_SUPERPROXY_DNS, debug=None
+                )
+            resolved_ip = answer.first_address
+
+        attempts: list[AttemptRecord] = []
+        tried: set[str] = set()
+        node: Optional[RegisteredNode] = None
+        for _attempt in range(MAX_ATTEMPTS):
+            node, pinned = self._select_node(options, tried)
+            if node is None:
+                break
+            tried.add(node.zid)
+            dampen = self.PINNED_FLAKINESS_DAMPEN if pinned else 1.0
+            if self._registry.is_offline(node, self._rng, dampen=dampen):
+                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
+                if options.session is not None:
+                    self._sessions.drop(options.session)
+                node = None
+                continue
+            trace.add("super proxy", "forward request", "exit node", node.zid)
+            try:
+                if options.dns_remote:
+                    trace.add("exit node", "DNS request", "exit node resolver", host)
+                    response = node.host.fetch_http(host, path)
+                else:
+                    response = node.host.fetch_http(host, path, dest_ip=resolved_ip)
+            except HostDnsError:
+                # The exit node's own resolver says the name does not exist.
+                # This is an authoritative answer about the *name*, not a node
+                # failure, so Luminati reports it rather than retrying.
+                attempts.append(AttemptRecord(zid=node.zid, outcome="dns_nxdomain"))
+                trace.add("exit node", "NXDOMAIN from resolver", "super proxy")
+                trace.add("super proxy", "error response", "client")
+                return ProxyResult(
+                    status=None,
+                    body=b"",
+                    error=ERROR_EXIT_DNS_NXDOMAIN,
+                    debug=self._debug(node, attempts),
+                )
+            except UnreachableError:
+                attempts.append(AttemptRecord(zid=node.zid, outcome="connect_failed"))
+                node = None
+                continue
+            attempts.append(AttemptRecord(zid=node.zid, outcome="ok"))
+            self.ledger.record(node.zid, len(response.body))
+            trace.add("exit node", "fetch content", "web server", url)
+            trace.add("exit node", "return response", "super proxy")
+            trace.add("super proxy", "return response", "client")
+            debug = self._debug(node, attempts)
+            headers = response.headers + ((HEADER_NAME, debug.serialize()),)
+            return ProxyResult(
+                status=response.status,
+                body=response.body,
+                error=None,
+                debug=debug,
+                headers=headers,
+            )
+
+        return ProxyResult(
+            status=None,
+            body=b"",
+            error=ERROR_NO_PEERS,
+            debug=self._debug(None, attempts) if attempts else None,
+        )
+
+    # -- CONNECT tunnels ------------------------------------------------------
+
+    def open_tunnel(
+        self,
+        options: ProxyOptions,
+        dest_ip: int,
+        port: int,
+    ) -> tuple[Optional[RegisteredNode], TimelineDebug]:
+        """Establish a CONNECT tunnel via an exit node (port 443 only).
+
+        Returns ``(node, debug)``; ``node`` is ``None`` when no peer could be
+        found (the debug trail still records the attempts).
+        """
+        if port != 443:
+            raise TunnelPortError(f"CONNECT is only allowed to port 443, not {port}")
+        self._advance_time()
+        self.requests_served += 1
+        attempts: list[AttemptRecord] = []
+        tried: set[str] = set()
+        for _attempt in range(MAX_ATTEMPTS):
+            node, pinned = self._select_node(options, tried)
+            if node is None:
+                break
+            tried.add(node.zid)
+            dampen = self.PINNED_FLAKINESS_DAMPEN if pinned else 1.0
+            if self._registry.is_offline(node, self._rng, dampen=dampen):
+                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
+                if options.session is not None:
+                    self._sessions.drop(options.session)
+                continue
+            attempts.append(AttemptRecord(zid=node.zid, outcome="ok"))
+            return node, self._debug(node, attempts)
+        return None, self._debug(None, attempts)

@@ -1,0 +1,47 @@
+"""Violation actors: the middleboxes and end-host software the paper detects.
+
+Each class here implements one of the end-to-end violations measured in the
+paper, planted into the simulated world by :mod:`repro.sim` and *rediscovered*
+by the measurement pipeline in :mod:`repro.core`:
+
+* :mod:`repro.middlebox.dns_rewrite` — transparent DNS proxies and host-level
+  DNS "protection" that rewrite NXDOMAIN answers (§4.3.3, Table 5).
+* :mod:`repro.middlebox.injectors` — ad/JS-injecting malware and ISP web
+  filters that modify HTML in flight (§5.2, Table 6), plus policy blockers.
+* :mod:`repro.middlebox.transcoder` — mobile-ISP image compression (Table 7).
+* :mod:`repro.middlebox.tls_mitm` — AV products, content filters, and malware
+  that replace TLS certificates (§6, Table 8).
+* :mod:`repro.middlebox.monitor` — content monitors that record URLs and
+  re-fetch them later from their own servers (§7, Table 9, Figure 5).
+"""
+
+from repro.middlebox.base import (
+    DnsResponseRewriter,
+    HttpResponseModifier,
+    RequestMonitor,
+    TlsChainInterceptor,
+    stable_fraction,
+)
+from repro.middlebox.dns_rewrite import TransparentDnsProxy, HostDnsRewriter
+from repro.middlebox.injectors import JsInjector, IspWebFilter, PolicyBlocker
+from repro.middlebox.transcoder import ImageTranscoder
+from repro.middlebox.tls_mitm import MitmBehavior, TlsMitmProduct
+from repro.middlebox.monitor import ContentMonitor, DelayModel
+
+__all__ = [
+    "DnsResponseRewriter",
+    "HttpResponseModifier",
+    "RequestMonitor",
+    "TlsChainInterceptor",
+    "stable_fraction",
+    "TransparentDnsProxy",
+    "HostDnsRewriter",
+    "JsInjector",
+    "IspWebFilter",
+    "PolicyBlocker",
+    "ImageTranscoder",
+    "MitmBehavior",
+    "TlsMitmProduct",
+    "ContentMonitor",
+    "DelayModel",
+]

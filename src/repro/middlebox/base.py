@@ -1,0 +1,88 @@
+"""Hook interfaces shared by all violation actors.
+
+An exit-node host (:mod:`repro.hosts`) threads every DNS answer, HTTP
+exchange, and TLS handshake through an ordered list of these hooks — first
+the ISP path (middleboxes), then host software — mirroring where each actor
+physically sits.  Actors are shared objects (one ``TlsMitmProduct`` instance
+serves every node that installed it); anything per-node is keyed off the
+node's persistent ``zid`` via :func:`stable_fraction` / :func:`stable_choice`
+so that repeated measurements of one node are consistent, as they are in
+reality.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Protocol, Sequence, TYPE_CHECKING
+
+from repro.dnssim.message import DnsResponse
+from repro.web.http import HttpRequest, HttpResponse
+from repro.tlssim.certs import CertificateChain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.fabric import Internet
+
+
+def _hash32(*parts: object) -> int:
+    """Deterministic 32-bit hash for reproducible per-node behaviour."""
+    payload = "\x1f".join(str(part) for part in parts).encode("utf-8")
+    return zlib.crc32(payload)
+
+
+def stable_fraction(*parts: object) -> float:
+    """A deterministic draw in [0, 1) keyed by the given parts."""
+    return (_hash32(*parts) % 1_000_000) / 1_000_000
+
+
+def stable_choice(options: Sequence, *parts: object):
+    """A deterministic pick from ``options`` keyed by the given parts."""
+    if not options:
+        raise ValueError("no options to choose from")
+    return options[_hash32(*parts) % len(options)]
+
+
+class DnsResponseRewriter(Protocol):
+    """Rewrites a DNS answer on its way back to the client.
+
+    Implementations return the response unchanged when they do not act.
+    ``node_zid`` lets a shared actor make stable per-node decisions.
+    """
+
+    def rewrite_dns(self, qname: str, response: DnsResponse, node_zid: str) -> DnsResponse:
+        """Possibly rewrite one answer."""
+        ...
+
+
+class HttpResponseModifier(Protocol):
+    """Modifies an HTTP response body in flight (injection, transcoding, blocking)."""
+
+    def modify_response(
+        self, request: HttpRequest, response: HttpResponse, node_zid: str
+    ) -> HttpResponse:
+        """Possibly modify one response."""
+        ...
+
+
+class TlsChainInterceptor(Protocol):
+    """Replaces the certificate chain presented to the client (MITM)."""
+
+    def intercept_chain(
+        self, server_name: str, chain: CertificateChain, node_zid: str, now: float
+    ) -> CertificateChain:
+        """Possibly substitute the presented chain."""
+        ...
+
+
+class RequestMonitor(Protocol):
+    """Observes outbound HTTP requests and may re-fetch them later.
+
+    Returns the number of seconds the node's own request is *held* before
+    being released (0.0 for purely passive monitors; Bluecoat-style boxes
+    fetch first and release the request afterwards, §7.2.1).
+    """
+
+    def observe_request(
+        self, request: HttpRequest, dest_ip: int, node_zid: str, internet: "Internet"
+    ) -> float:
+        """Observe one request; schedule any re-fetches; return hold seconds."""
+        ...

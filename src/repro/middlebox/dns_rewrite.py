@@ -1,0 +1,60 @@
+"""DNS-path rewriters that do not live in the resolver.
+
+§4.3.3 attributes a residue of NXDOMAIN hijacking — observed even on nodes
+using Google's 8.8.8.8 — to two vectors:
+
+* :class:`TransparentDnsProxy`: an ISP middlebox on the network path that
+  lets the query through to the configured (external) resolver but rewrites
+  the NXDOMAIN answer on the way back.  Table 5's top rows (Deutsche
+  Telekom's ``navigationshilfe.t-online.de``, BT's ``webaddresshelp.bt.com``,
+  ...) are this vector: many affected nodes, all inside one ISP's ASes.
+* :class:`HostDnsRewriter`: software on the end host (Norton Safe Web,
+  Comodo Secure DNS) that rewrites failed lookups.  Table 5's shaded rows
+  are this vector: few nodes each, spread over many ASes and countries.
+"""
+
+from __future__ import annotations
+
+from repro.dnssim.hijack import HijackPolicy
+from repro.dnssim.message import DnsResponse
+from repro.middlebox.base import stable_fraction
+
+
+class TransparentDnsProxy:
+    """ISP middlebox rewriting NXDOMAIN answers in flight.
+
+    ``intercept_rate`` is the per-node probability that the box sits on a
+    given subscriber's path (ISPs deploy these on some, not all, links); the
+    decision is stable per node.
+    """
+
+    def __init__(self, policy: HijackPolicy, intercept_rate: float = 1.0) -> None:
+        if not 0.0 <= intercept_rate <= 1.0:
+            raise ValueError(f"intercept_rate out of range: {intercept_rate}")
+        self.policy = policy
+        self.intercept_rate = intercept_rate
+
+    def applies_to(self, node_zid: str) -> bool:
+        """Whether this subscriber's path goes through the box."""
+        if self.intercept_rate >= 1.0:
+            return True
+        return stable_fraction("tdp", self.policy.operator, node_zid) < self.intercept_rate
+
+    def rewrite_dns(self, qname: str, response: DnsResponse, node_zid: str) -> DnsResponse:
+        """Rewrite NXDOMAIN for intercepted subscribers; pass everything else."""
+        if response.is_nxdomain and self.applies_to(node_zid):
+            return self.policy.apply(response)
+        return response
+
+
+class HostDnsRewriter:
+    """End-host software rewriting failed lookups (AV "search assist" features)."""
+
+    def __init__(self, policy: HijackPolicy) -> None:
+        self.policy = policy
+
+    def rewrite_dns(self, qname: str, response: DnsResponse, node_zid: str) -> DnsResponse:
+        """Rewrite every NXDOMAIN on the host it is installed on."""
+        if response.is_nxdomain:
+            return self.policy.apply(response)
+        return response

@@ -1,0 +1,43 @@
+"""Response droppers: JS/CSS fetches that come back as errors or empty.
+
+§5.2: "We observe 45 exit nodes and 11 exit nodes received JavaScript and CSS
+content replaced by different content, respectively.  Manually inspecting
+these revealed they all consisted of error pages or empty responses."  The
+cause is flaky proxies/filters that choke on large or stylesheet objects;
+:class:`ResponseDropper` models one such box.
+"""
+
+from __future__ import annotations
+
+from repro.web.http import HttpRequest, HttpResponse
+
+ERROR_PAGE = (
+    b"<!DOCTYPE html><html><body><h1>502 Bad Gateway</h1>"
+    b"<p>The proxy server received an invalid response.</p></body></html>"
+)
+
+
+class ResponseDropper:
+    """Replaces responses of one content type with an error page or nothing.
+
+    ``content_type_substring`` selects victims (e.g. ``"javascript"`` or
+    ``"css"``); ``empty`` controls whether the replacement is an empty body
+    (the CSS pattern) or a proxy error page (the JS pattern).
+    """
+
+    def __init__(self, content_type_substring: str, empty: bool = False) -> None:
+        if not content_type_substring:
+            raise ValueError("content_type_substring must be non-empty")
+        self.content_type_substring = content_type_substring.lower()
+        self.empty = empty
+
+    def modify_response(
+        self, request: HttpRequest, response: HttpResponse, node_zid: str
+    ) -> HttpResponse:
+        """Drop matching responses; pass everything else through."""
+        content_type = (response.header("Content-Type") or "").lower()
+        if self.content_type_substring not in content_type:
+            return response
+        if self.empty:
+            return response.with_body(b"")
+        return response.with_body(ERROR_PAGE)

@@ -1,0 +1,80 @@
+"""Transparent HTTP proxies: Via headers and shared caches.
+
+The paper's related work (§8) credits Netalyzr with "reveal[ing] HTTP
+proxies by monitoring request and response headers" and identifying "proxy
+caching policies".  This actor reproduces both observable behaviours:
+
+* a ``Via`` header appended to responses that transit the box (RFC 7230
+  requires it; real deployments mostly comply);
+* a **shared cache**: responses are stored per URL, and subsequent requests
+  from *any* subscriber behind the box are answered from the cache within
+  the TTL — detectable by fetching a dynamic resource twice and receiving
+  the same supposedly-unique body.
+
+Like the transcoder, a proxy is an AS-level deployment shared by all of the
+ISP's subscribers, which is exactly what makes the shared cache observable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.web.http import HttpRequest, HttpResponse
+
+#: Content types a well-behaved cache stores (no HTML application pages).
+_CACHEABLE_TYPES = ("text/plain", "image/", "text/css", "application/javascript")
+
+
+class TransparentHttpProxy:
+    """An in-network proxy adding Via headers and (optionally) caching."""
+
+    def __init__(
+        self,
+        operator: str,
+        via_token: str,
+        cache_enabled: bool = True,
+        cache_ttl: float = 300.0,
+    ) -> None:
+        if not via_token:
+            raise ValueError("a proxy must carry a Via token")
+        if cache_ttl <= 0:
+            raise ValueError(f"cache_ttl must be positive: {cache_ttl}")
+        self.operator = operator
+        self.via_token = via_token
+        self.cache_enabled = cache_enabled
+        self.cache_ttl = cache_ttl
+        self._cache: dict[tuple[str, str], tuple[float, HttpResponse]] = {}
+        self.cache_hits = 0
+
+    def _cacheable(self, response: HttpResponse) -> bool:
+        content_type = (response.header("Content-Type") or "").lower()
+        return response.is_success and any(
+            content_type.startswith(prefix) for prefix in _CACHEABLE_TYPES
+        )
+
+    def modify_response(
+        self, request: HttpRequest, response: HttpResponse, node_zid: str
+    ) -> HttpResponse:
+        """Stamp the Via header; serve/refresh the shared cache."""
+        key = (request.host, request.path)
+        if self.cache_enabled and self._cacheable(response):
+            cached = self._cache.get(key)
+            if cached is not None and request.time - cached[0] <= self.cache_ttl:
+                self.cache_hits += 1
+                return (
+                    cached[1]
+                    .with_header("Via", f"1.1 {self.via_token}")
+                    .with_header("X-Cache", "HIT")
+                    .with_header("Age", f"{request.time - cached[0]:.0f}")
+                )
+            self._cache[key] = (request.time, response)
+        return response.with_header("Via", f"1.1 {self.via_token}")
+
+
+def proxy_via_token(headers: "tuple[tuple[str, str], ...]") -> Optional[str]:
+    """Extract the proxy identity from a response's Via header, if any."""
+    for name, value in headers:
+        if name.lower() == "via":
+            parts = value.split()
+            return parts[-1] if parts else value
+    return None

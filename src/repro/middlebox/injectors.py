@@ -1,0 +1,125 @@
+"""HTML modifiers: ad-injecting malware, ISP web filters, policy blockers.
+
+§5.2 found three flavours of HTML modification, all reproduced here:
+
+* :class:`JsInjector` — malware/adware on the end host injecting JavaScript
+  into pages.  Each family carries the identifying URL or keyword from
+  Table 6 (``d36mw5gp02ykm5.cloudfront.net``, ``var oiasudoj;``, ...) and the
+  payload growth the paper measured (e.g. AdTaily adds ~335 KB of ads).
+* :class:`IspWebFilter` — in-network filtering that rewrites pages and tags
+  them (Internet Rimon's NetSpark filter inserts a
+  ``NetsparkQuiltingResult`` meta tag on every page).
+* :class:`PolicyBlocker` — boxes that replace the page wholesale with a
+  "blocked"/"bandwidth exceeded" interstitial; §5.2 filters these 32 cases
+  out of the modification counts.
+
+All modifiers honour the paper's empirical sub-1 KB threshold: tiny objects
+pass through untouched.
+"""
+
+from __future__ import annotations
+
+from repro.middlebox.base import stable_fraction
+from repro.web.content import MIN_MODIFIABLE_SIZE
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.server import BlockPageServer
+
+
+def _looks_like_html(response: HttpResponse) -> bool:
+    """Whether a response is an HTML document big enough to be worth touching."""
+    content_type = response.header("Content-Type") or ""
+    if "html" not in content_type:
+        return False
+    return len(response.body) >= MIN_MODIFIABLE_SIZE
+
+
+class JsInjector:
+    """A malware/adware family injecting a script block into HTML pages.
+
+    ``marker`` is the identifying URL or keyword the paper's Table 6 analysis
+    extracts; ``payload_bytes`` is how much the family inflates the page.
+    ``marker_is_url`` controls whether the marker is embedded as a script
+    ``src`` URL or as raw code (the ``var oiasudoj;`` /
+    ``AdTaily_Widget_Container`` cases).
+    """
+
+    def __init__(self, family: str, marker: str, payload_bytes: int, marker_is_url: bool = True) -> None:
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload size {payload_bytes}")
+        self.family = family
+        self.marker = marker
+        self.payload_bytes = payload_bytes
+        self.marker_is_url = marker_is_url
+
+    def injection_block(self) -> bytes:
+        """The bytes this family splices into a page."""
+        if self.marker_is_url:
+            head = f'<script type="text/javascript" src="http://{self.marker}"></script>'
+        else:
+            head = f'<script type="text/javascript">{self.marker}</script>'
+        filler = "<!-- " + "ad" * max(0, (self.payload_bytes - len(head) - 10) // 2) + " -->"
+        return (head + filler).encode("ascii")
+
+    def modify_response(
+        self, request: HttpRequest, response: HttpResponse, node_zid: str
+    ) -> HttpResponse:
+        """Inject the family's script before ``</body>`` of HTML responses."""
+        if not _looks_like_html(response):
+            return response
+        body = response.body
+        anchor = body.rfind(b"</body>")
+        block = self.injection_block()
+        if anchor == -1:
+            return response.with_body(body + block)
+        return response.with_body(body[:anchor] + block + body[anchor:])
+
+
+class IspWebFilter:
+    """An in-network content filter that rewrites pages and tags them.
+
+    Mirrors NetSpark as deployed by Internet Rimon (AS 42925): every HTML
+    page passing the filter gains a result meta tag.
+    """
+
+    def __init__(self, vendor_tag: str = "NetsparkQuiltingResult") -> None:
+        self.vendor_tag = vendor_tag
+
+    def modify_response(
+        self, request: HttpRequest, response: HttpResponse, node_zid: str
+    ) -> HttpResponse:
+        """Insert the vendor meta tag into the document head."""
+        if not _looks_like_html(response):
+            return response
+        body = response.body
+        meta = f'<meta name="{self.vendor_tag}" content="clean" />'.encode("ascii")
+        anchor = body.find(b"<head>")
+        if anchor == -1:
+            return response.with_body(meta + body)
+        insert_at = anchor + len(b"<head>")
+        return response.with_body(body[:insert_at] + meta + body[insert_at:])
+
+
+class PolicyBlocker:
+    """Replaces responses with a policy interstitial for a fraction of nodes.
+
+    ``kind`` selects between the "blocked" and "bandwidth exceeded" pages;
+    ``block_rate`` is the stable per-node probability of being behind the box.
+    """
+
+    def __init__(self, kind: str = "blocked", block_rate: float = 1.0) -> None:
+        if not 0.0 <= block_rate <= 1.0:
+            raise ValueError(f"block_rate out of range: {block_rate}")
+        self._server = BlockPageServer(ip=0, kind=kind)
+        self.block_rate = block_rate
+
+    def modify_response(
+        self, request: HttpRequest, response: HttpResponse, node_zid: str
+    ) -> HttpResponse:
+        """Swap the page for the interstitial when the node is behind the box."""
+        if not _looks_like_html(response):
+            return response
+        if self.block_rate < 1.0 and (
+            stable_fraction("blocker", self._server.kind, node_zid) >= self.block_rate
+        ):
+            return response
+        return response.with_body(self._server.page)

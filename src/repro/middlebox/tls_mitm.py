@@ -1,0 +1,150 @@
+"""TLS interception products (Table 8).
+
+§6.2 attributes certificate replacement to three product classes, all of
+which share a mechanism — the product installs a private root CA on the host
+and re-signs every intercepted site's certificate on the fly — but differ in
+the details the paper analyses:
+
+* **Key reuse** — every product except Avast reuses one leaf public key for
+  all spoofed certificates on a given host.
+* **Invalid-origin handling** — Cyberoam, ESET, Kaspersky, McAfee, and
+  Fortigate re-sign *invalid* origin certificates with the same trusted-by-
+  the-host root, silencing browser warnings; Avast, BitDefender and Dr. Web
+  re-sign them under a separate "untrusted" issuer; OpenDNS leaves invalid
+  origins untouched.
+* **Scope** — OpenDNS intercepts only domains on the network admin's block
+  list; malware like Cloudguard.me copies most fields from the original
+  certificate to look legitimate.
+
+The measurement client detects all of them because *its* root store (the
+OS X store) does not contain any product's private root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.middlebox.base import stable_fraction
+from repro.tlssim.certs import Certificate, CertificateChain, KeyPair
+from repro.tlssim.rootstore import RootStore
+from repro.tlssim.validation import validate_chain
+
+#: Spoofed-leaf lifetime: products typically mint short-lived certificates.
+_SPOOF_LIFETIME = 2 * 365 * 86_400.0
+
+
+@dataclass(frozen=True)
+class MitmBehavior:
+    """Static description of one interception product's behaviour.
+
+    ``category`` feeds Table 8's "Type" column.  ``invalid_issuer_cn``, when
+    set, is the separate issuer used for origins whose own certificate was
+    invalid (the Avast/BitDefender/Dr. Web pattern).  ``only_valid_origins``
+    makes the product skip invalid origins entirely (OpenDNS).
+    ``site_selectivity`` < 1 reproduces the paper's observation that "not
+    every certificate is modified".
+    """
+
+    product: str
+    issuer_cn: str
+    category: str = "Anti-Virus/Security"
+    issuer_org: str = ""
+    issuer_country: str = ""
+    per_node_key: bool = True
+    invalid_issuer_cn: str = ""
+    only_valid_origins: bool = False
+    copy_origin_fields: bool = False
+    site_selectivity: float = 1.0
+    blocked_domains: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.site_selectivity <= 1.0:
+            raise ValueError(f"site_selectivity out of range: {self.site_selectivity}")
+
+
+class TlsMitmProduct:
+    """A deployed interception product, shared across every host that runs it.
+
+    The product judges origin validity against ``public_roots`` (it trusts
+    the same public CAs a browser does) and signs spoofed leaves with a
+    per-install private root keyed off the host's ``zid``.
+    """
+
+    def __init__(self, behavior: MitmBehavior, public_roots: RootStore) -> None:
+        self.behavior = behavior
+        self._public_roots = public_roots
+
+    def _install_root(self, node_zid: str, issuer_cn: str) -> tuple[KeyPair, Certificate]:
+        """The private root this install signs with (stable per host + issuer)."""
+        key = KeyPair.generate(f"mitm-root:{self.behavior.product}:{issuer_cn}:{node_zid}")
+        root = Certificate(
+            subject_cn=issuer_cn,
+            issuer_cn=issuer_cn,
+            public_key_id=key.key_id,
+            signer_key_id=key.key_id,
+            not_before=0.0,
+            not_after=10 * 365 * 86_400.0,
+            serial=1,
+            is_ca=True,
+            issuer_org=self.behavior.issuer_org or self.behavior.product,
+            issuer_country=self.behavior.issuer_country,
+        )
+        return key, root
+
+    def _leaf_key(self, node_zid: str, server_name: str) -> KeyPair:
+        """Leaf key: shared per host for most products, per-site for Avast-likes."""
+        if self.behavior.per_node_key:
+            return KeyPair.generate(f"mitm-leaf:{self.behavior.product}:{node_zid}")
+        return KeyPair.generate(
+            f"mitm-leaf:{self.behavior.product}:{node_zid}:{server_name}"
+        )
+
+    def _skips_site(self, server_name: str, node_zid: str) -> bool:
+        """Selective interception: stable per (host, site)."""
+        if self.behavior.site_selectivity >= 1.0:
+            return False
+        draw = stable_fraction("mitm-select", self.behavior.product, node_zid, server_name)
+        return draw >= self.behavior.site_selectivity
+
+    def intercept_chain(
+        self, server_name: str, chain: CertificateChain, node_zid: str, now: float
+    ) -> CertificateChain:
+        """Possibly replace the presented chain with a locally-signed spoof."""
+        behavior = self.behavior
+        if behavior.blocked_domains and server_name.lower() not in behavior.blocked_domains:
+            return chain
+
+        origin_valid = validate_chain(chain, server_name, self._public_roots, now).valid
+        if not origin_valid and behavior.only_valid_origins:
+            return chain
+        if self._skips_site(server_name, node_zid):
+            return chain
+
+        issuer_cn = behavior.issuer_cn
+        if not origin_valid and behavior.invalid_issuer_cn:
+            issuer_cn = behavior.invalid_issuer_cn
+
+        root_key, root_cert = self._install_root(node_zid, issuer_cn)
+        leaf_key = self._leaf_key(node_zid, server_name)
+        original = chain.leaf
+        if behavior.copy_origin_fields:
+            subject_cn = original.subject_cn
+            not_before, not_after = original.not_before, original.not_after
+            serial = original.serial
+        else:
+            subject_cn = server_name
+            not_before, not_after = now - 86_400.0, now + _SPOOF_LIFETIME
+            serial = int(stable_fraction("serial", behavior.product, node_zid, server_name) * 2**31)
+        leaf = Certificate(
+            subject_cn=subject_cn,
+            issuer_cn=issuer_cn,
+            public_key_id=leaf_key.key_id,
+            signer_key_id=root_key.key_id,
+            not_before=not_before,
+            not_after=not_after,
+            serial=serial,
+            is_ca=False,
+            issuer_org=behavior.issuer_org or behavior.product,
+            issuer_country=behavior.issuer_country,
+        )
+        return CertificateChain((leaf, root_cert))

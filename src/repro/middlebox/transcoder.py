@@ -1,0 +1,78 @@
+"""Mobile-ISP image transcoding (Table 7).
+
+The paper found twelve mobile ASes transparently recompressing JPEGs, each
+with a characteristic compression ratio (34%–54%), applied to only a fraction
+of subscribers (possibly plan-dependent), and two ASes (Vodacom ZA, Vodafone
+EG) exhibiting *multiple* ratios.  :class:`ImageTranscoder` models one such
+AS-level box: a set of candidate ratios, a per-node affected fraction, and a
+stable per-node ratio assignment (so re-measuring a node sees a consistent
+size, which is how the paper argues the ISP — not the node — is responsible).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.middlebox.base import stable_choice, stable_fraction
+from repro.web.content import MIN_MODIFIABLE_SIZE
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.jpeg import is_jpeg, transcode_to_ratio
+
+
+class ImageTranscoder:
+    """An in-network image compression box for one mobile AS.
+
+    Parameters
+    ----------
+    operator:
+        Identifier used in per-node stable draws (the ISP name).
+    ratios:
+        Candidate compression ratios; a node is stably assigned one of them
+        ("M" rows in Table 7 have more than one candidate).
+    affected_fraction:
+        Fraction of the AS's subscribers whose traffic passes the box.
+    """
+
+    def __init__(
+        self,
+        operator: str,
+        ratios: Sequence[float],
+        affected_fraction: float = 1.0,
+    ) -> None:
+        if not ratios:
+            raise ValueError("at least one compression ratio required")
+        for ratio in ratios:
+            if not 0.0 < ratio < 1.0:
+                raise ValueError(f"compression ratio out of range: {ratio}")
+        if not 0.0 <= affected_fraction <= 1.0:
+            raise ValueError(f"affected_fraction out of range: {affected_fraction}")
+        self.operator = operator
+        self.ratios = tuple(ratios)
+        self.affected_fraction = affected_fraction
+
+    def applies_to(self, node_zid: str) -> bool:
+        """Whether this subscriber's image traffic is recompressed."""
+        if self.affected_fraction >= 1.0:
+            return True
+        return (
+            stable_fraction("transcode", self.operator, node_zid)
+            < self.affected_fraction
+        )
+
+    def ratio_for(self, node_zid: str) -> float:
+        """The stable compression ratio assigned to one subscriber."""
+        return stable_choice(self.ratios, "ratio", self.operator, node_zid)
+
+    def modify_response(
+        self, request: HttpRequest, response: HttpResponse, node_zid: str
+    ) -> HttpResponse:
+        """Recompress JPEG responses for affected subscribers."""
+        body = response.body
+        if len(body) < MIN_MODIFIABLE_SIZE or not is_jpeg(body):
+            return response
+        if not self.applies_to(node_zid):
+            return response
+        ratio = self.ratio_for(node_zid)
+        return response.with_body(
+            transcode_to_ratio(body, ratio, seed=f"{self.operator}:{node_zid}")
+        )

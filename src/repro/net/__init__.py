@@ -1,0 +1,35 @@
+"""Network substrate: IPv4 machinery, AS-level topology, geography, simulated time.
+
+This subpackage provides the pieces of Internet infrastructure that the paper's
+analysis relies on:
+
+* :mod:`repro.net.ip` — IPv4 addresses, CIDR prefixes, and a longest-prefix-match
+  trie (the core of a RouteViews-style IP-to-AS mapping).
+* :mod:`repro.net.asn` — autonomous systems and the prefix-to-AS table.
+* :mod:`repro.net.orgmap` — a CAIDA-style AS-to-organization dataset mapping
+  ASes to ISPs and ISPs to countries.
+* :mod:`repro.net.geo` — ISO country registry used for country-level grouping.
+* :mod:`repro.net.clock` — a discrete-event simulated clock; content monitors
+  schedule their delayed re-fetches on it.
+"""
+
+from repro.net.ip import Prefix, PrefixTrie, ip_to_str, str_to_ip
+from repro.net.asn import AutonomousSystem, RouteViewsTable
+from repro.net.orgmap import Organization, AsOrgMap
+from repro.net.geo import Country, CountryRegistry
+from repro.net.clock import SimClock, EventScheduler
+
+__all__ = [
+    "Prefix",
+    "PrefixTrie",
+    "ip_to_str",
+    "str_to_ip",
+    "AutonomousSystem",
+    "RouteViewsTable",
+    "Organization",
+    "AsOrgMap",
+    "Country",
+    "CountryRegistry",
+    "SimClock",
+    "EventScheduler",
+]

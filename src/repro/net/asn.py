@@ -1,0 +1,110 @@
+"""Autonomous systems and the RouteViews-style IP-to-AS table.
+
+The paper maps every observed IP address (exit nodes, DNS servers, monitoring
+sources) to an AS "using data from RouteViews taken at the same time as our
+data collection" (§3.1).  :class:`RouteViewsTable` plays that role here: a
+longest-prefix-match table from announced prefixes to origin AS numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.net.ip import Prefix, PrefixTrie
+
+
+@dataclass(slots=True)
+class AutonomousSystem:
+    """An AS: a number, the organization that operates it, and its announced prefixes."""
+
+    asn: int
+    org_id: str
+    prefixes: list[Prefix] = field(default_factory=list)
+
+    def announce(self, prefix: Prefix) -> None:
+        """Record a prefix as originated by this AS."""
+        self.prefixes.append(prefix)
+
+    @property
+    def address_count(self) -> int:
+        """Total number of addresses announced by this AS."""
+        return sum(prefix.size for prefix in self.prefixes)
+
+    def __str__(self) -> str:
+        return f"AS{self.asn}"
+
+
+class RouteViewsTable:
+    """Prefix-to-origin-AS table with longest-prefix-match semantics.
+
+    This mirrors how the paper resolves IPs to ASes: the most specific
+    announced prefix covering an address determines its origin AS.
+
+    >>> table = RouteViewsTable()
+    >>> asys = table.register(64500, "org-example")
+    >>> table.announce(64500, Prefix.from_str("198.51.100.0/24"))
+    >>> table.ip_to_asn(Prefix.from_str("198.51.100.0/24").nth(9))
+    64500
+    """
+
+    def __init__(self) -> None:
+        self._by_asn: dict[int, AutonomousSystem] = {}
+        self._trie = PrefixTrie()
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def register(self, asn: int, org_id: str) -> AutonomousSystem:
+        """Create (or return the existing) AS with this number.
+
+        Registering the same ASN twice with a different organization raises
+        :class:`ValueError` — an ASN belongs to exactly one organization in
+        the CAIDA dataset.
+        """
+        existing = self._by_asn.get(asn)
+        if existing is not None:
+            if existing.org_id != org_id:
+                raise ValueError(
+                    f"AS{asn} already registered to {existing.org_id}, not {org_id}"
+                )
+            return existing
+        asys = AutonomousSystem(asn=asn, org_id=org_id)
+        self._by_asn[asn] = asys
+        return asys
+
+    def announce(self, asn: int, prefix: Prefix) -> None:
+        """Announce ``prefix`` as originated by ``asn`` (which must be registered)."""
+        asys = self._by_asn.get(asn)
+        if asys is None:
+            raise KeyError(f"AS{asn} is not registered")
+        asys.announce(prefix)
+        self._trie.insert(prefix, asn)
+
+    def get(self, asn: int) -> AutonomousSystem:
+        """The :class:`AutonomousSystem` for a number; raises :class:`KeyError` if unknown."""
+        return self._by_asn[asn]
+
+    def ip_to_asn(self, ip: int) -> Optional[int]:
+        """Origin ASN of the most specific prefix covering ``ip``, or ``None``."""
+        return self._trie.lookup(ip)
+
+    def ip_to_as(self, ip: int) -> Optional[AutonomousSystem]:
+        """Like :meth:`ip_to_asn` but returns the AS object."""
+        asn = self._trie.lookup(ip)
+        return None if asn is None else self._by_asn[asn]
+
+    def ip_to_prefix(self, ip: int) -> Optional[Prefix]:
+        """The most specific announced prefix covering ``ip``, or ``None``."""
+        hit = self._trie.lookup_prefix(ip)
+        return None if hit is None else hit[0]
+
+    def asns(self) -> list[int]:
+        """All registered AS numbers."""
+        return list(self._by_asn)

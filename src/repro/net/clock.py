@@ -1,0 +1,118 @@
+"""Discrete-event simulated time.
+
+The content-monitoring experiment (§7) watches the measurement web server for
+up to 24 hours after each probe, and Figure 5 plots the distribution of delays
+between a node's request and the monitor's re-fetch.  Running that against
+wall-clock time is impossible offline, so all timestamps in the simulation
+come from :class:`SimClock`, and delayed actions (monitor re-fetches, session
+expiry) are events on an :class:`EventScheduler` drained by advancing the
+clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class SimClock:
+    """A monotonically advancing simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to an absolute instant (no-op if already past it)."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+
+class EventScheduler:
+    """A priority queue of timed callbacks bound to a :class:`SimClock`.
+
+    Events fire in timestamp order when the owner calls :meth:`run_until`
+    (which also advances the clock).  Ties break by scheduling order, keeping
+    runs deterministic.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._sequence = itertools.count()
+        self._fired = 0
+
+    @property
+    def clock(self) -> SimClock:
+        """The clock events are scheduled against."""
+        return self._clock
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._heap)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events fired so far."""
+        return self._fired
+
+    def schedule_at(self, when: float, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to fire at absolute time ``when``.
+
+        Scheduling in the past is rejected — it would silently never fire
+        under :meth:`run_until` semantics.
+        """
+        if when < self._clock.now:
+            raise ValueError(f"cannot schedule at {when}, clock is at {self._clock.now}")
+        heapq.heappush(self._heap, (when, next(self._sequence), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule_at(self._clock.now + delay, callback)
+
+    def run_until(self, when: float) -> int:
+        """Advance the clock to ``when``, firing every event due on the way.
+
+        Callbacks may schedule further events; those fire too if due within
+        the window.  Returns the number of events fired.
+        """
+        fired_before = self._fired
+        while self._heap and self._heap[0][0] <= when:
+            due, _seq, callback = heapq.heappop(self._heap)
+            self._clock.advance_to(due)
+            self._fired += 1
+            callback()
+        self._clock.advance_to(when)
+        return self._fired - fired_before
+
+    def run_for(self, seconds: float) -> int:
+        """Advance the clock by ``seconds``, firing due events.  Returns count fired."""
+        if seconds < 0:
+            raise ValueError(f"negative window {seconds}")
+        return self.run_until(self._clock.now + seconds)
+
+    def drain(self) -> int:
+        """Fire every pending event regardless of timestamp.  Returns count fired."""
+        fired_before = self._fired
+        while self._heap:
+            due, _seq, callback = heapq.heappop(self._heap)
+            self._clock.advance_to(due)
+            self._fired += 1
+            callback()
+        return self._fired - fired_before

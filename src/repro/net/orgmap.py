@@ -1,0 +1,97 @@
+"""CAIDA-style AS-to-organization mapping.
+
+The paper groups ASes into organizations ("as one ISP may operate many ASes")
+and assigns each AS a country via CAIDA's AS-organizations dataset (§3.1).
+:class:`AsOrgMap` reproduces that dataset's query surface: ASN -> organization,
+organization -> ASNs, and organization -> registration country.
+
+Note the paper's caveat (footnote 3): country-level statistics measure where
+*networks are registered*, not where users are.  We preserve that semantics —
+the country of an exit node is the country of its AS's organization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(slots=True)
+class Organization:
+    """An organization (ISP, enterprise, vendor) operating one or more ASes."""
+
+    org_id: str
+    name: str
+    country: str
+    asns: list[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.country})"
+
+
+class AsOrgMap:
+    """The AS-to-organization dataset.
+
+    >>> orgs = AsOrgMap()
+    >>> org = orgs.register("org-tmnet", "TMnet", "MY")
+    >>> orgs.assign(4788, "org-tmnet")
+    >>> orgs.asn_to_org(4788).name
+    'TMnet'
+    >>> orgs.asn_to_country(4788)
+    'MY'
+    """
+
+    def __init__(self) -> None:
+        self._orgs: dict[str, Organization] = {}
+        self._asn_to_org: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._orgs)
+
+    def __iter__(self) -> Iterator[Organization]:
+        return iter(self._orgs.values())
+
+    def register(self, org_id: str, name: str, country: str) -> Organization:
+        """Create (or return the existing, identical) organization record."""
+        existing = self._orgs.get(org_id)
+        if existing is not None:
+            if existing.name != name or existing.country != country:
+                raise ValueError(f"organization {org_id} already registered differently")
+            return existing
+        org = Organization(org_id=org_id, name=name, country=country)
+        self._orgs[org_id] = org
+        return org
+
+    def assign(self, asn: int, org_id: str) -> None:
+        """Assign an ASN to an organization.  An ASN belongs to exactly one org."""
+        if org_id not in self._orgs:
+            raise KeyError(f"unknown organization {org_id}")
+        current = self._asn_to_org.get(asn)
+        if current is not None and current != org_id:
+            raise ValueError(f"AS{asn} already assigned to {current}")
+        if current is None:
+            self._asn_to_org[asn] = org_id
+            self._orgs[org_id].asns.append(asn)
+
+    def get(self, org_id: str) -> Organization:
+        """The organization record for an id; raises :class:`KeyError` if unknown."""
+        return self._orgs[org_id]
+
+    def asn_to_org(self, asn: int) -> Optional[Organization]:
+        """The organization operating ``asn``, or ``None`` if unmapped."""
+        org_id = self._asn_to_org.get(asn)
+        return None if org_id is None else self._orgs[org_id]
+
+    def asn_to_country(self, asn: int) -> Optional[str]:
+        """ISO country code of the organization operating ``asn``, or ``None``."""
+        org = self.asn_to_org(asn)
+        return None if org is None else org.country
+
+    def orgs_in_country(self, country: str) -> list[Organization]:
+        """All organizations registered in a country."""
+        return [org for org in self._orgs.values() if org.country == country]
+
+    def same_org(self, asn_a: int, asn_b: int) -> bool:
+        """Whether two ASNs are operated by the same organization."""
+        org_a = self._asn_to_org.get(asn_a)
+        return org_a is not None and org_a == self._asn_to_org.get(asn_b)

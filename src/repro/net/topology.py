@@ -1,0 +1,114 @@
+"""AS-level topology: a transit graph over the simulated Internet.
+
+The measurement pipeline mostly works at the *endpoint* level, but one
+analytic question needs paths: when a third party re-fetches a user's URL
+(§7), is its network **on the AS path** between the exit node and the
+measurement server (a transparent cache would be) or **off-path** (a copy
+shipped to someone else's servers — content monitoring)?  The paper argues
+the latter from IP mismatch; a topology lets the analysis make the argument
+structurally.
+
+The graph follows a simplified Gao-Rexford hierarchy derived from the world's
+org map:
+
+* the ASes of one organization form a clique (internal links);
+* every AS attaches to its country's backbone hub;
+* country hubs attach to a small full mesh of tier-1 transit nodes.
+
+Shortest paths over this graph approximate valley-free routes well enough to
+separate "on the customer's route to the server" from "somewhere else
+entirely".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.net.asn import RouteViewsTable
+from repro.net.orgmap import AsOrgMap
+
+#: Synthetic graph nodes for country hubs and the tier-1 mesh.
+_HUB = "hub:{}"
+_TIER1 = ("t1:alpha", "t1:beta", "t1:gamma")
+
+
+class AsTopology:
+    """A transit graph over registered ASes with path queries."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self._graph = graph
+
+    @classmethod
+    def from_world_tables(
+        cls, routeviews: RouteViewsTable, orgmap: AsOrgMap
+    ) -> "AsTopology":
+        """Derive the hierarchy from the RouteViews table and org map."""
+        graph = nx.Graph()
+        for first, second in zip(_TIER1, _TIER1[1:] + _TIER1[:1]):
+            graph.add_edge(first, second)
+        hubs_seen: set[str] = set()
+        for asys in routeviews:
+            org = orgmap.asn_to_org(asys.asn)
+            country = org.country if org is not None else "ZZ"
+            hub = _HUB.format(country)
+            if hub not in hubs_seen:
+                hubs_seen.add(hub)
+                # Attach the hub to a deterministic pair of tier-1s.
+                index = sum(ord(c) for c in country) % len(_TIER1)
+                graph.add_edge(hub, _TIER1[index])
+                graph.add_edge(hub, _TIER1[(index + 1) % len(_TIER1)])
+            graph.add_edge(asys.asn, hub)
+            if org is not None:
+                # Intra-organization links (one ISP's ASes interconnect).
+                for sibling in org.asns:
+                    if sibling != asys.asn and graph.has_node(sibling):
+                        graph.add_edge(asys.asn, sibling)
+        return cls(graph)
+
+    @property
+    def as_count(self) -> int:
+        """Number of real ASes in the graph (hubs/tier-1s excluded)."""
+        return sum(1 for node in self._graph.nodes if isinstance(node, int))
+
+    def path(self, src_asn: int, dst_asn: int) -> Optional[list[int]]:
+        """The AS-level route between two ASes (synthetic hops elided).
+
+        Returns ``None`` when either AS is unknown.
+        """
+        if src_asn not in self._graph or dst_asn not in self._graph:
+            return None
+        hops = nx.shortest_path(self._graph, src_asn, dst_asn)
+        return [hop for hop in hops if isinstance(hop, int)]
+
+    def on_path(self, via_asn: int, src_asn: int, dst_asn: int) -> bool:
+        """Whether ``via_asn`` lies on the route from ``src`` to ``dst``."""
+        route = self.path(src_asn, dst_asn)
+        return route is not None and via_asn in route
+
+
+def offpath_monitor_fraction(
+    records: Iterable,
+    topology: AsTopology,
+    server_asn: int,
+) -> tuple[int, int]:
+    """§7's structural test: count (off-path, total) unexpected-request sources.
+
+    ``records`` are :class:`~repro.core.experiments.monitoring.MonitorProbeRecord`
+    instances.  A transparent cache would sit on the node→server route; the
+    monitoring entities the paper found are elsewhere entirely, so the
+    off-path share should be ~100%.
+    """
+    off_path = 0
+    total = 0
+    for record in records:
+        if record.asn is None:
+            continue
+        for request in record.unexpected:
+            if request.asn is None:
+                continue
+            total += 1
+            if not topology.on_path(request.asn, record.asn, server_asn):
+                off_path += 1
+    return off_path, total

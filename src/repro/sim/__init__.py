@@ -1,0 +1,18 @@
+"""World generation: plants the paper's findings as ground truth.
+
+:mod:`repro.sim.profiles` encodes, per country and ISP, the violation
+behaviours the paper reported (Tables 3–9): which ISP resolvers hijack
+NXDOMAIN and where they redirect, which ISPs run transparent DNS proxies,
+which mobile ASes transcode images at which ratios, the install rates of
+ad-injecting malware, TLS-intercepting AV products, and content monitors.
+
+:mod:`repro.sim.world` consumes those profiles and builds a fully wired
+simulated Internet — routing tables, org map, resolvers, web/TLS servers,
+exit-node hosts, the Luminati service — whose *measured* behaviour the
+experiment pipeline in :mod:`repro.core` must rediscover.
+"""
+
+from repro.sim.config import WorldConfig
+from repro.sim.world import World, build_world
+
+__all__ = ["WorldConfig", "World", "build_world"]

@@ -1,0 +1,70 @@
+"""World-generation configuration.
+
+``scale`` is the master knob: 1.0 builds a population comparable to the
+paper's (~890 K Hola hosts, of which each experiment's crawl measures
+650–810 K); tests run at 0.01–0.05 and benchmarks default to the value of
+the ``REPRO_SCALE`` environment variable (0.1 if unset).  Every planted
+count in the profiles is multiplied by ``scale`` at build time, so ratios
+and orderings — the quantities the paper's tables are judged on — are
+scale-invariant.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Environment variable read by benchmarks/examples for the default scale.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Knobs for :func:`repro.sim.world.build_world`."""
+
+    #: Master population multiplier (1.0 = paper scale).
+    scale: float = 0.1
+    #: Seed for every random decision made while building and crawling.
+    seed: int = 20160413  # the first day of the paper's data collection
+    #: Simulated seconds consumed per super-proxy request.
+    pacing_seconds: float = 0.05
+    #: Fraction of Luminati picks that are uniform-random (drives crawler
+    #: repeats; see :mod:`repro.luminati.registry`).
+    repeat_fraction: float = 0.3
+    #: Fraction of nodes that resolve through a unique home-CPE forwarder
+    #: (creates the long tail of observed DNS-server IPs).
+    edge_resolver_fraction: float = 0.02
+    #: Number of countries with usable Alexa rankings (§6.2 limits the HTTPS
+    #: experiment to 115 countries).
+    alexa_countries: int = 115
+    #: Popular sites per country tested over HTTPS (§6.1: top 20).
+    popular_sites_per_country: int = 20
+    #: University sites tested over HTTPS (§6.1: 10 U.S. universities).
+    university_sites: int = 10
+    #: Include the long tails (300 rare MITM issuers, 48 rare monitors).
+    #: Tiny unit-test worlds turn this off for speed.
+    include_rare_tail: bool = True
+    #: Build a violation-free world: no host software, no hijacking public
+    #: resolvers, no monitors.  ISP behaviours still follow the country
+    #: specs.  Used as the false-positive control: every detector must
+    #: report zero against a sterile world.
+    sterile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive: {self.scale}")
+        if self.pacing_seconds < 0:
+            raise ValueError(f"pacing must be non-negative: {self.pacing_seconds}")
+
+    def scaled(self, count: float, minimum: int = 0) -> int:
+        """A planted full-scale count, scaled to this world."""
+        return max(minimum, int(round(count * self.scale)))
+
+    @classmethod
+    def from_env(cls, **overrides) -> "WorldConfig":
+        """Config whose ``scale`` honours the ``REPRO_SCALE`` environment
+        variable; a ``scale`` keyword serves as the fallback default."""
+        raw = os.environ.get(SCALE_ENV_VAR)
+        if raw is not None:
+            overrides["scale"] = float(raw)
+        return cls(**overrides)

@@ -1,0 +1,1004 @@
+"""Planted ground truth: who violates end-to-end connectivity, where, and how.
+
+Every specification in this module corresponds to a finding in the paper's
+evaluation; the module docstring of each dataclass says which.  The world
+builder consumes these specs; the measurement pipeline never sees them — it
+must rediscover the behaviour through the paper's methodology, and the test
+suite compares the two.
+
+All node counts are **full-scale** (paper-sized) and are multiplied by
+``WorldConfig.scale`` at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.middlebox.monitor import DelayModel, DelaySpec
+
+# ---------------------------------------------------------------------------
+# DNS hijacking specs (§4, Tables 3-5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResolverHijackSpec:
+    """An ISP (or public service) whose resolvers rewrite NXDOMAIN.
+
+    ``landing_domain`` is the fingerprint URL embedded in the served page
+    (Table 5); ``js_family`` marks the shared vendor JavaScript package the
+    paper found deployed identically at five ISPs (§4.3.1); ``rate`` is the
+    per-query hijack probability (the paper's Table 4 uses a >=90% cut, so
+    named ISPs hijack near-deterministically).
+    """
+
+    landing_domain: str
+    js_family: str = ""
+    rate: float = 0.97
+
+
+@dataclass(frozen=True)
+class PathHijackSpec:
+    """A transparent DNS proxy intercepting subscribers' *external* resolvers.
+
+    This is the §4.3.3 vector: nodes using Google DNS still receive hijacked
+    answers because the ISP rewrites them in flight (Table 5's top rows).
+    ``intercept_rate`` is the fraction of external-resolver subscribers whose
+    path crosses the box.
+    """
+
+    landing_domain: str
+    intercept_rate: float = 1.0
+
+
+#: The shared vendor package Cox, Oi, TalkTalk, BT and Verizon deploy.
+VENDOR_JS_FAMILY = "SearchAssistRedirect-v2"
+
+
+# ---------------------------------------------------------------------------
+# HTTP modification specs (§5, Tables 6-7)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TranscoderSpec:
+    """Table 7: a mobile AS recompressing images.
+
+    ``ratios`` holds the observed compression ratio(s) ("M" rows have two);
+    ``affected_fraction`` is the AS's "Ratio" column (fraction of subscribers
+    whose traffic is compressed).
+    """
+
+    ratios: tuple[float, ...]
+    affected_fraction: float
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """Table 6: a JS-injecting malware/adware family on end hosts.
+
+    ``install_rate`` is the global per-node install probability at full
+    scale; ``countries`` restricts installs (several families are regional).
+    """
+
+    family: str
+    marker: str
+    marker_is_url: bool
+    payload_bytes: int
+    install_rate: float
+    countries: Optional[tuple[str, ...]] = None
+
+
+#: Table 6 families.  Rates are chosen so a ~45-50 K-node HTTP crawl at full
+#: scale observes counts near the paper's (201, 97, 16, 15, 11, 11, ...).
+JS_INJECTORS: tuple[InjectorSpec, ...] = (
+    # Rates for country-restricted families are conditional on being in one
+    # of the listed countries (hence higher than the global-equivalent rate).
+    InjectorSpec("cloudfront-adware", "d36mw5gp02ykm5.cloudfront.net", True, 40_000, 0.0045),
+    InjectorSpec("msmdzbsyrw", "msmdzbsyrw.org", True, 25_000, 0.032, ("RU", "UA", "BY", "KZ")),
+    InjectorSpec("pgjs", "pgjs.me", True, 12_000, 0.008, ("US",)),
+    InjectorSpec("jswrite", "jswrite.com/script1.js", True, 15_000, 0.0015,
+                 ("US", "GB", "CA", "AU", "DE", "FR", "NL", "SE", "IT")),
+    InjectorSpec("oiasudoj", "var oiasudoj;", False, 23_000, 0.0076, ("BR",)),
+    InjectorSpec("adtaily", "AdTaily_Widget_Container", False, 335_000, 0.004,
+                 ("PL", "CZ", "SK", "HU", "RO", "BG", "HR", "RS")),
+    # Long tail: the paper extracted 21 distinct URLs/keywords overall.
+    InjectorSpec("sideload-1", "cdn.adpops-one.net", True, 18_000, 0.00018),
+    InjectorSpec("sideload-2", "track.clkfeed.org", True, 9_000, 0.00015),
+    InjectorSpec("sideload-3", "js.bstats-collect.com", True, 11_000, 0.00014),
+    InjectorSpec("sideload-4", "var qqwindowpop;", False, 14_000, 0.005, ("CN", "TW", "HK")),
+    InjectorSpec("sideload-5", "widget.dealfindr.net", True, 22_000, 0.00012),
+    InjectorSpec("sideload-6", "api.coupon-layer.com", True, 8_000, 0.00011),
+    InjectorSpec("sideload-7", "var adrotatorx;", False, 16_000, 0.00011),
+    InjectorSpec("sideload-8", "static.popzone-ads.net", True, 19_000, 0.0001),
+    InjectorSpec("sideload-9", "sync.pxl-beacon.org", True, 7_000, 0.0001),
+    InjectorSpec("sideload-10", "var injhelperq;", False, 12_000, 0.00009),
+    InjectorSpec("sideload-11", "go.redirpath.com", True, 10_000, 0.00009),
+    InjectorSpec("sideload-12", "cdn.tbarhelper.net", True, 13_000, 0.00008),
+    InjectorSpec("sideload-13", "var overlaymgr2;", False, 9_000, 0.00008),
+    InjectorSpec("sideload-14", "ads.instreamwrap.com", True, 15_000, 0.00007),
+    # Unidentifiable injections (the 440-416 = 24 nodes whose code the paper
+    # could not characterise): inject with no stable marker URL.
+    InjectorSpec("anon-inject", "var _0x91ac2f;", False, 5_000, 0.0003),
+)
+
+#: §5.2: rates of exit nodes whose JS/CSS fetches come back as error or empty
+#: pages (45 and 11 nodes of 49,545), and whose HTML is a policy interstitial
+#: (32 nodes filtered before the modification analysis).
+JS_ERROR_RATE = 0.0009
+CSS_ERROR_RATE = 0.00022
+BLOCK_PAGE_RATE = 0.00045
+BANDWIDTH_PAGE_RATE = 0.0002
+
+
+# ---------------------------------------------------------------------------
+# TLS interception specs (§6, Table 8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MitmProductSpec:
+    """Table 8: one certificate-replacing product.
+
+    ``install_rate`` is per-node at full scale (Table 8 counts over the
+    807,910-node HTTPS crawl).  Behavioural flags mirror §6.2's findings —
+    see :class:`repro.middlebox.tls_mitm.MitmBehavior`.
+    """
+
+    product: str
+    issuer_cn: str
+    category: str
+    install_rate: float
+    issuer_org: str = ""
+    issuer_country: str = ""
+    per_node_key: bool = True
+    invalid_issuer_cn: str = ""
+    only_valid_origins: bool = False
+    copy_origin_fields: bool = False
+    site_selectivity: float = 1.0
+    countries: Optional[tuple[str, ...]] = None
+    extra_issuer_cns: tuple[str, ...] = ()
+
+
+MITM_PRODUCTS: tuple[MitmProductSpec, ...] = (
+    MitmProductSpec(
+        product="Avast",
+        issuer_cn="avast! Web/Mail Shield Root",
+        category="Anti-Virus/Security",
+        install_rate=0.00406,
+        issuer_org="AVAST Software",
+        issuer_country="CZ",
+        per_node_key=False,  # the one product that does NOT reuse keys (§6.2)
+        invalid_issuer_cn="avast! Web/Mail Shield Untrusted Root",
+        extra_issuer_cns=(
+            "avast! Web/Mail Shield Self-signed Root",
+            "Avast trusted CA",
+            "Avast untrusted CA",
+        ),
+        site_selectivity=0.97,
+    ),
+    MitmProductSpec(
+        product="AVG Technology",
+        issuer_cn="AVG Technologies Web/Mail Shield Root",
+        category="Anti-Virus/Security",
+        install_rate=0.000306,
+        issuer_org="AVG Technologies",
+        issuer_country="CZ",
+        invalid_issuer_cn="AVG Technologies Untrusted Root",
+        site_selectivity=0.97,
+    ),
+    MitmProductSpec(
+        product="BitDefender",
+        issuer_cn="Bitdefender Personal CA.Net-Defender",
+        category="Anti-Virus/Security",
+        install_rate=0.000298,
+        issuer_org="Bitdefender SRL",
+        issuer_country="RO",
+        invalid_issuer_cn="Bitdefender Untrusted CA.Net-Defender",
+    ),
+    MitmProductSpec(
+        product="Eset SSL Filter",
+        issuer_cn="ESET SSL Filter CA",
+        category="Anti-Virus/Security",
+        install_rate=0.000269,
+        issuer_org="ESET spol. s r. o.",
+        issuer_country="SK",
+        # Replaces invalid origins with valid-looking spoofs (same issuer).
+    ),
+    MitmProductSpec(
+        product="Kaspersky",
+        issuer_cn="Kaspersky Anti-Virus Personal Root Certificate",
+        category="Anti-Virus/Security",
+        install_rate=0.0000842,
+        issuer_org="Kaspersky Lab",
+        issuer_country="RU",
+    ),
+    MitmProductSpec(
+        product="OpenDNS",
+        issuer_cn="OpenDNS Root Certificate Authority",
+        category="Content filter",
+        install_rate=0.0000793,
+        issuer_org="OpenDNS Inc.",
+        issuer_country="US",
+        only_valid_origins=True,  # §6.2: never touches invalid origins
+        # Interception is restricted to blocked domains; the world builder
+        # fills the block list in.
+    ),
+    MitmProductSpec(
+        product="Cyberoam SSL",
+        issuer_cn="Cyberoam SSL CA",
+        category="Anti-Virus/Security",
+        install_rate=0.0000433,
+        issuer_org="Cyberoam Technologies",
+        issuer_country="IN",
+    ),
+    MitmProductSpec(
+        product="Sample CA 2",
+        issuer_cn="Sample CA 2",
+        category="N/A",
+        install_rate=0.0000359,
+    ),
+    MitmProductSpec(
+        product="Fortigate",
+        issuer_cn="FortiGate CA",
+        category="Anti-Virus/Security",
+        install_rate=0.000021,
+        issuer_org="Fortinet",
+        issuer_country="US",
+    ),
+    MitmProductSpec(
+        product="Empty",
+        issuer_cn="",
+        category="N/A",
+        install_rate=0.0000173,
+    ),
+    MitmProductSpec(
+        product="Cloudguard.me",
+        issuer_cn="Cloudguard.me",
+        category="Malware",
+        # Conditional on Russia (~4.5% of nodes): world-wide ~0.0017%.
+        install_rate=0.00038,
+        copy_origin_fields=True,  # §6.2: copies fields to look legitimate
+        countries=("RU",),  # all affected nodes were in Russian ISPs
+    ),
+    MitmProductSpec(
+        product="Dr. Web",
+        issuer_cn="Dr.Web SpIDer Gate Root Certificate",
+        category="Anti-Virus/Security",
+        install_rate=0.0000161,
+        issuer_org="Doctor Web",
+        issuer_country="RU",
+        invalid_issuer_cn="Dr.Web SpIDer Gate Untrusted Root",
+    ),
+    MitmProductSpec(
+        product="McAfee",
+        issuer_cn="McAfee Web Gateway",
+        category="Anti-Virus/Security",
+        install_rate=0.0000074,
+        issuer_org="McAfee LLC",
+        issuer_country="US",
+    ),
+)
+
+#: §6.2 found 320 unique Issuer Common Names overall; the 13 groups above
+#: cover 93.6% of affected nodes.  The remainder is a long tail of one-off
+#: corporate proxies and obscure products.
+RARE_MITM_ISSUER_COUNT = 300
+RARE_MITM_TOTAL_RATE = 0.00036  # ~290 of 807,910 nodes across all rare issuers
+
+#: Fraction of the Cloudguard-infected hosts' HTTP traffic that also shows
+#: content injection (§6.2: "we also find these exit nodes experience HTTP
+#: content injection").
+CLOUDGUARD_INJECTOR = InjectorSpec(
+    "cloudguard", "cdn.cloudguard.me/inject.js", True, 30_000, 0.0
+)
+
+#: Fraction of popular sites on OpenDNS deployments' block lists.
+OPENDNS_BLOCKED_SITE_FRACTION = 0.25
+
+
+# ---------------------------------------------------------------------------
+# Content monitoring specs (§7, Table 9, Figure 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MonitorEntitySpec:
+    """Table 9: one content-monitoring entity.
+
+    ``install_rate`` applies to host-software monitors; ISP-level monitors
+    (TalkTalk, Tiscali) are attached through their :class:`IspSpec` instead
+    and leave it at 0.  ``second_pool_fixed`` reproduces AnchorFree's
+    always-from-Menlo-Park second request.  Delay parameters are chosen to
+    reproduce each entity's Figure 5 CDF.
+    """
+
+    name: str
+    org_name: str
+    country: str
+    ip_count: int
+    delay_model: DelayModel
+    install_rate: float = 0.0
+    countries: Optional[tuple[str, ...]] = None
+    user_agent: str = ""
+    second_pool_fixed: bool = False
+    provides_vpn_egress: bool = False
+
+
+MONITOR_ENTITIES: tuple[MonitorEntitySpec, ...] = (
+    MonitorEntitySpec(
+        name="Trend Micro",
+        org_name="Trend Micro Inc.",
+        country="JP",
+        ip_count=55,
+        delay_model=DelayModel(
+            requests=(
+                DelaySpec("loguniform", 12.0, 120.0),
+                DelaySpec("loguniform", 200.0, 12_500.0),
+            )
+        ),
+        # Conditional on the 13 countries below (~27% of the node population),
+        # so the world-wide incidence lands near the paper's 0.88%.
+        install_rate=0.032,
+        countries=(
+            "US", "JP", "TW", "DE", "GB", "FR", "AU", "CA", "BR", "IN", "PH", "MY", "KR",
+        ),
+        user_agent="TrendMicro WRS/3.0",
+    ),
+    MonitorEntitySpec(
+        name="Commtouch",
+        org_name="CYREN Ltd. (Commtouch)",
+        country="IL",
+        ip_count=20,
+        delay_model=DelayModel(requests=(DelaySpec("loguniform", 60.0, 600.0),)),
+        install_rate=0.00154,
+        user_agent="Commtouch GlobalView/2.4",
+    ),
+    MonitorEntitySpec(
+        name="AnchorFree",
+        org_name="AnchorFree Inc.",
+        country="US",
+        ip_count=223,
+        delay_model=DelayModel(
+            requests=(
+                DelaySpec("uniform", 0.05, 0.35),
+                DelaySpec("uniform", 0.1, 0.8, source_pool="fixed"),
+            )
+        ),
+        install_rate=0.00062,
+        user_agent="HotspotShield MalwareScan/1.1",
+        second_pool_fixed=True,
+        provides_vpn_egress=True,
+    ),
+    MonitorEntitySpec(
+        name="Bluecoat",
+        org_name="Blue Coat Systems",
+        country="US",
+        ip_count=12,
+        delay_model=DelayModel(
+            requests=(
+                DelaySpec("uniform", 0.5, 30.0),
+                DelaySpec("loguniform", 5.0, 600.0),
+            ),
+            prefetch_probability=0.83,
+            hold_range=(0.3, 3.0),
+        ),
+        install_rate=0.00061,
+        user_agent="BlueCoat ProxyAV/5.0",
+    ),
+)
+
+#: ISP-level monitors are attached via IspSpec.monitor; their schedules live
+#: here so Figure 5 has one source of truth.
+ISP_MONITOR_MODELS: dict[str, DelayModel] = {
+    "TalkTalk": DelayModel(
+        requests=(
+            DelaySpec("normal", 30.0, 0.4),
+            DelaySpec("uniform", 60.0, 3_600.0),
+        )
+    ),
+    "Tiscali U.K.": DelayModel(requests=(DelaySpec("normal", 30.0, 0.25),)),
+}
+
+#: §7.2: 54 AS groups generated unexpected requests; the six named entities
+#: cover 94%.  The remainder is a long tail of small monitoring operations.
+RARE_MONITOR_COUNT = 48
+RARE_MONITOR_TOTAL_RATE = 0.00095
+
+
+# ---------------------------------------------------------------------------
+# Host-level DNS rewriters (§4.3.3, Table 5 shaded rows)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostDnsRewriterSpec:
+    """AV 'search assist' features rewriting NXDOMAIN on the host."""
+
+    name: str
+    landing_domain: str
+    install_rate: float
+
+
+HOST_DNS_REWRITERS: tuple[HostDnsRewriterSpec, ...] = (
+    HostDnsRewriterSpec("Norton Safe Web", "nortonsafe.search.ask.com", 0.00055),
+    HostDnsRewriterSpec("Comodo Secure DNS Assist", "securedns.comodo.com", 0.00014),
+)
+
+
+# ---------------------------------------------------------------------------
+# Public DNS services (§4.3.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PublicDnsSpec:
+    """A public resolver service: share of external-DNS users, hijack policy."""
+
+    name: str
+    share: float  # of external-DNS users (Google's share is the remainder)
+    server_count: int  # at full scale
+    landing_domain: str = ""  # empty -> honest service
+    answers_direct_probes: bool = True
+
+
+PUBLIC_DNS_SERVICES: tuple[PublicDnsSpec, ...] = (
+    PublicDnsSpec("OpenDNS", 0.06, 8),
+    PublicDnsSpec("Comodo Secure DNS", 0.021, 9, landing_domain="searchhelp.comodo.com"),
+    PublicDnsSpec("UltraDNS", 0.011, 4, landing_domain="search.ultradns.net"),
+    PublicDnsSpec("Level 3", 0.014, 3, landing_domain="search.level3search.com"),
+    PublicDnsSpec("LookSafe", 0.003, 2, landing_domain="go.looksafesearch.com"),
+    PublicDnsSpec("Unknown-A", 0.003, 1, landing_domain="rd.nxsearchpartner.net",
+                  answers_direct_probes=False),
+    PublicDnsSpec("Unknown-B", 0.0015, 1, landing_domain="ads.typoredirect.org",
+                  answers_direct_probes=False),
+    PublicDnsSpec("Unknown-C", 0.0015, 1, landing_domain="www.dnshelper-search.com"),
+)
+
+#: Google's share of external-DNS users.
+GOOGLE_EXTERNAL_SHARE = 0.70
+#: Honest regional public resolvers making up the remaining external share.
+REGIONAL_PUBLIC_RESOLVER_COUNT = 1_080
+#: Fraction of OpenDNS users whose deployment uses Block Page + TLS MITM —
+#: handled through the OpenDNS MitmProductSpec install rate instead.
+
+# ---------------------------------------------------------------------------
+# ISPs and countries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IspSpec:
+    """One named ISP: size, ASes, resolver fleet, and planted behaviours.
+
+    ``share`` is the fraction of the country's nodes subscribed here (used
+    when ``population`` is None).  ``major_resolvers``/``major_resolver_nodes``
+    reproduce Table 4's per-ISP "DNS Servers"/"Exit Nodes" columns: that many
+    servers carry that many of the ISP's own-resolver nodes; the rest sit on
+    minor resolvers too small to clear the paper's >=10-node cut.
+    """
+
+    name: str
+    share: float = 0.0
+    population: Optional[int] = None  # absolute full-scale node count
+    as_count: int = 1
+    major_resolvers: int = 2
+    major_resolver_nodes: int = 0  # 0 -> all own-resolver nodes on majors
+    resolver_hijack: Optional[ResolverHijackSpec] = None
+    path_hijack: Optional[PathHijackSpec] = None
+    external_dns_fraction: float = 0.08
+    #: Share of this ISP's *external*-DNS users on Google specifically; None
+    #: uses the global mix.  Footnote-9 ISPs (OPT Benin) effectively hand
+    #: every subscriber 8.8.8.8 via DHCP.
+    external_google_share: Optional[float] = None
+    transcoder: Optional[TranscoderSpec] = None
+    web_filter_tag: Optional[str] = None
+    #: When set, the ISP runs a transparent HTTP proxy announcing this Via
+    #: token; ``http_proxy_cache`` adds a shared cache (Netalyzr-style
+    #: detection targets, §8 related work).
+    http_proxy_via: Optional[str] = None
+    http_proxy_cache: bool = True
+    monitor: Optional[str] = None
+    monitor_rate: float = 0.0
+    monitor_ip_count: int = 0
+    mobile: bool = False
+    fixed_asn: Optional[int] = None  # pin the (first) AS number (Table 7 rows)
+
+
+@dataclass(frozen=True)
+class CountrySpec:
+    """One country: full-scale node population and its named ISPs.
+
+    ``residual_hijack_ratio`` adds generic hijacking ISPs (hijack rate below
+    the Table 4 cut, so only named ISPs surface there) until roughly that
+    fraction of the country's nodes is hijacked *beyond* the named ISPs'
+    contribution.
+    """
+
+    code: str
+    population: int
+    isps: tuple[IspSpec, ...] = ()
+    residual_hijack_ratio: float = 0.0
+    external_dns_fraction: float = 0.08
+
+
+#: Hijack rate for generic (unnamed) hijacking ISPs — kept well under the
+#: 90% server-level cut (with margin for small-sample noise) so the measured
+#: Table 4 contains exactly the named ISPs.
+GENERIC_HIJACK_RATE = 0.72
+
+
+NAMED_COUNTRIES: tuple[CountrySpec, ...] = (
+    CountrySpec(
+        code="MY",
+        population=8_200,
+        isps=(
+            IspSpec(
+                name="TMnet",
+                share=0.55,
+                major_resolvers=8,
+                major_resolver_nodes=1_676,
+                resolver_hijack=ResolverHijackSpec("midascdn.nervesis.com"),
+                path_hijack=PathHijackSpec("midascdn.nervesis.com"),
+                external_dns_fraction=0.035,
+            ),
+        ),
+        residual_hijack_ratio=0.008,
+    ),
+    CountrySpec(
+        code="ID",
+        population=10_100,
+        isps=(
+            IspSpec(
+                name="Telkom Indonesia Uzone",
+                share=0.46,
+                major_resolvers=12,
+                major_resolver_nodes=3_400,
+                # Well below the paper's 90% per-server cut (with margin for
+                # small-sample noise): Indonesia's hijacking shows up in
+                # Tables 3 and 5 but has no Table 4 row.
+                resolver_hijack=ResolverHijackSpec("v3.mercusuar.uzone.id", rate=0.78),
+                path_hijack=PathHijackSpec("v3.mercusuar.uzone.id"),
+                external_dns_fraction=0.02,
+            ),
+        ),
+        residual_hijack_ratio=0.01,
+    ),
+    CountrySpec(
+        code="CN",
+        population=800,
+        residual_hijack_ratio=0.353,
+        external_dns_fraction=0.02,
+    ),
+    CountrySpec(
+        code="GB",
+        population=43_700,
+        isps=(
+            IspSpec(
+                name="TalkTalk",
+                share=0.115,
+                as_count=3,
+                major_resolvers=46,
+                major_resolver_nodes=3_738,
+                resolver_hijack=ResolverHijackSpec("error.talktalk.co.uk", VENDOR_JS_FAMILY),
+                path_hijack=PathHijackSpec("error.talktalk.co.uk"),
+                external_dns_fraction=0.013,
+                monitor="TalkTalk",
+                monitor_rate=0.452,
+                monitor_ip_count=6,
+            ),
+            IspSpec(
+                name="BT Internet",
+                share=0.10,
+                major_resolvers=6,
+                major_resolver_nodes=479,
+                resolver_hijack=ResolverHijackSpec("www.webaddresshelp.bt.com", VENDOR_JS_FAMILY),
+                path_hijack=PathHijackSpec("www.webaddresshelp.bt.com"),
+                external_dns_fraction=0.024,
+            ),
+            IspSpec(
+                name="Tiscali U.K.",
+                share=0.073,
+                monitor="Tiscali U.K.",
+                monitor_rate=0.114,
+                monitor_ip_count=2,
+                http_proxy_via="tiscali-uk-wc7.proxy",
+                http_proxy_cache=False,  # header-only deployment
+            ),
+            IspSpec(
+                name="Telefonica UK",
+                population=20,
+                mobile=True,
+                fixed_asn=29180,
+                transcoder=TranscoderSpec((0.47,), 1.0),
+            ),
+            IspSpec(
+                name="Vodafone UK",
+                population=21,
+                mobile=True,
+                fixed_asn=25135,
+                transcoder=TranscoderSpec((0.54,), 0.83),
+            ),
+        ),
+        residual_hijack_ratio=0.055,
+    ),
+    CountrySpec(
+        code="DE",
+        population=22_400,
+        isps=(
+            IspSpec(
+                name="Deutsche Telekom AG",
+                share=0.25,
+                major_resolvers=8,
+                major_resolver_nodes=1_385,
+                resolver_hijack=ResolverHijackSpec("navigationshilfe.t-online.de"),
+                path_hijack=PathHijackSpec("navigationshilfe.t-online.de"),
+                external_dns_fraction=0.021,
+            ),
+        ),
+        residual_hijack_ratio=0.012,
+    ),
+    CountrySpec(
+        code="US",
+        population=39_300,
+        isps=(
+            IspSpec(
+                name="Verizon",
+                share=0.055,
+                major_resolvers=98,
+                major_resolver_nodes=2_102,
+                resolver_hijack=ResolverHijackSpec("searchassist.verizon.com", VENDOR_JS_FAMILY),
+                path_hijack=PathHijackSpec("searchassist.verizon.com"),
+                external_dns_fraction=0.02,
+            ),
+            IspSpec(
+                name="Cox Communications",
+                share=0.047,
+                major_resolvers=63,
+                major_resolver_nodes=1_789,
+                resolver_hijack=ResolverHijackSpec("finder.cox.net", VENDOR_JS_FAMILY),
+                path_hijack=PathHijackSpec("finder.cox.net"),
+                external_dns_fraction=0.013,
+            ),
+            IspSpec(
+                name="AT&T",
+                share=0.016,
+                major_resolvers=37,
+                major_resolver_nodes=561,
+                resolver_hijack=ResolverHijackSpec("dnserrorassist.att.net"),
+                path_hijack=PathHijackSpec("dnserrorassist.att.net"),
+                external_dns_fraction=0.073,
+            ),
+            IspSpec(
+                name="Mediacom Cable",
+                share=0.0062,
+                major_resolvers=6,
+                major_resolver_nodes=219,
+                resolver_hijack=ResolverHijackSpec("search.mediacomcable.com"),
+                path_hijack=PathHijackSpec("search.mediacomcable.com"),
+                external_dns_fraction=0.04,
+            ),
+            IspSpec(
+                name="Cable One",
+                share=0.003,
+                major_resolvers=4,
+                major_resolver_nodes=108,
+                resolver_hijack=ResolverHijackSpec("searchredirect.cableone.net"),
+            ),
+            IspSpec(
+                name="Suddenlink",
+                share=0.0028,
+                major_resolvers=9,
+                major_resolver_nodes=98,
+                resolver_hijack=ResolverHijackSpec("search.suddenlink.net"),
+            ),
+            IspSpec(
+                name="WideOpenWest",
+                share=0.0011,
+                major_resolvers=1,
+                major_resolver_nodes=39,
+                resolver_hijack=ResolverHijackSpec("search.wideopenwest.com"),
+            ),
+        ),
+        residual_hijack_ratio=0.058,
+    ),
+    CountrySpec(
+        code="IN",
+        population=8_100,
+        isps=(
+            IspSpec(
+                name="Airtel Broadband",
+                share=0.10,
+                major_resolvers=9,
+                major_resolver_nodes=735,
+                resolver_hijack=ResolverHijackSpec("airtelforum.com"),
+                path_hijack=PathHijackSpec("airtelforum.com"),
+                external_dns_fraction=0.025,
+            ),
+            IspSpec(
+                name="BSNL",
+                share=0.0097,
+                major_resolvers=2,
+                major_resolver_nodes=71,
+                resolver_hijack=ResolverHijackSpec("search.bsnl.co.in"),
+            ),
+            IspSpec(
+                name="National Internet Backbone",
+                share=0.034,
+                major_resolvers=8,
+                major_resolver_nodes=245,
+                resolver_hijack=ResolverHijackSpec("dnsassist.nib.in"),
+            ),
+        ),
+        residual_hijack_ratio=0.025,
+    ),
+    CountrySpec(
+        code="BR",
+        population=28_600,
+        isps=(
+            IspSpec(
+                name="Oi Fixo",
+                share=0.099,
+                as_count=2,
+                major_resolvers=21,
+                major_resolver_nodes=2_558,
+                resolver_hijack=ResolverHijackSpec("dnserros.oi.com.br", VENDOR_JS_FAMILY),
+                path_hijack=PathHijackSpec("dnserros.oi.com.br"),
+                external_dns_fraction=0.02,
+            ),
+            IspSpec(
+                name="CTBC",
+                share=0.0113,
+                major_resolvers=4,
+                major_resolver_nodes=290,
+                resolver_hijack=ResolverHijackSpec("nodomain.ctbc.com.br"),
+                path_hijack=PathHijackSpec("nodomain.ctbc.com.br"),
+                external_dns_fraction=0.031,
+            ),
+        ),
+        residual_hijack_ratio=0.057,
+    ),
+    CountrySpec(
+        code="BJ",
+        population=850,
+        isps=(
+            IspSpec(
+                name="OPT Benin",
+                share=0.32,
+                external_dns_fraction=0.99,
+                external_google_share=0.992,  # footnote 9: 99.1% on Google
+            ),
+        ),
+        residual_hijack_ratio=0.14,
+    ),
+    CountrySpec(code="JO", population=1_300, residual_hijack_ratio=0.077),
+    CountrySpec(
+        code="AR",
+        population=12_000,
+        isps=(
+            IspSpec(
+                name="Telefonica de Argentina",
+                share=0.028,
+                major_resolvers=14,
+                major_resolver_nodes=276,
+                resolver_hijack=ResolverHijackSpec("ayudaenlabusqueda.telefonica.com.ar"),
+                path_hijack=PathHijackSpec("ayudaenlabusqueda.telefonica.com.ar"),
+                external_dns_fraction=0.068,
+            ),
+        ),
+        residual_hijack_ratio=0.012,
+    ),
+    CountrySpec(
+        code="AU",
+        population=20_000,
+        isps=(
+            IspSpec(
+                name="Dodo Australia",
+                share=0.075,
+                major_resolvers=21,
+                major_resolver_nodes=1_404,
+                resolver_hijack=ResolverHijackSpec("google.dodo.com.au"),
+                path_hijack=PathHijackSpec("google.dodo.com.au"),
+                external_dns_fraction=0.012,
+            ),
+        ),
+    ),
+    CountrySpec(
+        code="ES",
+        population=14_000,
+        isps=(
+            IspSpec(
+                name="ONO",
+                share=0.006,
+                major_resolvers=2,
+                major_resolver_nodes=71,
+                resolver_hijack=ResolverHijackSpec("buscador.ono.es"),
+            ),
+        ),
+        residual_hijack_ratio=0.015,
+    ),
+    CountrySpec(
+        code="IL",
+        population=2_000,
+        isps=(
+            IspSpec(
+                name="Internet Rimon",
+                population=25,
+                fixed_asn=42925,
+                web_filter_tag="NetsparkQuiltingResult",
+            ),
+        ),
+    ),
+    CountrySpec(
+        code="GR",
+        population=4_000,
+        isps=(
+            IspSpec(
+                name="Wind Hellas",
+                population=12,
+                mobile=True,
+                fixed_asn=15617,
+                transcoder=TranscoderSpec((0.53,), 1.0),
+            ),
+            IspSpec(
+                name="Vodafone Greece",
+                population=26,
+                mobile=True,
+                fixed_asn=12361,
+                transcoder=TranscoderSpec((0.52,), 0.48),
+            ),
+        ),
+    ),
+    CountrySpec(
+        code="ZA",
+        population=5_000,
+        isps=(
+            IspSpec(
+                name="Vodacom",
+                population=100,
+                mobile=True,
+                fixed_asn=29975,
+                transcoder=TranscoderSpec((0.47, 0.62), 0.94),
+            ),
+        ),
+    ),
+    CountrySpec(
+        code="EG",
+        population=6_000,
+        isps=(
+            IspSpec(
+                name="Vodafone Egypt",
+                population=92,
+                mobile=True,
+                fixed_asn=36935,
+                transcoder=TranscoderSpec((0.41, 0.55), 0.77),
+            ),
+        ),
+    ),
+    CountrySpec(
+        code="MA",
+        population=4_000,
+        isps=(
+            IspSpec(
+                name="Meditelecom",
+                population=145,
+                mobile=True,
+                fixed_asn=36925,
+                transcoder=TranscoderSpec((0.34,), 0.68),
+            ),
+        ),
+    ),
+    CountrySpec(
+        code="TR",
+        population=12_000,
+        isps=(
+            IspSpec(
+                name="Turkcell",
+                population=74,
+                mobile=True,
+                fixed_asn=16135,
+                transcoder=TranscoderSpec((0.54,), 0.68),
+            ),
+            IspSpec(
+                name="Vodafone Turkey",
+                population=28,
+                mobile=True,
+                fixed_asn=15897,
+                transcoder=TranscoderSpec((0.53,), 0.56),
+            ),
+        ),
+        residual_hijack_ratio=0.02,
+    ),
+    CountrySpec(
+        code="TN",
+        population=3_000,
+        isps=(
+            IspSpec(
+                name="Orange Tunisie",
+                population=375,
+                mobile=True,
+                fixed_asn=37492,
+                transcoder=TranscoderSpec((0.34,), 0.29),
+                http_proxy_via="orange-tn-wap1.proxy",
+            ),
+        ),
+    ),
+    CountrySpec(
+        code="PH",
+        population=9_000,
+        isps=(
+            IspSpec(
+                name="Globe Telecom",
+                population=1_560,
+                mobile=True,
+                fixed_asn=132199,
+                transcoder=TranscoderSpec((0.51,), 0.14),
+                http_proxy_via="globe-ph-cache2.proxy",
+            ),
+        ),
+        residual_hijack_ratio=0.02,
+    ),
+    CountrySpec(
+        code="FR",
+        population=25_000,
+        isps=(
+            IspSpec(
+                name="Bouygues Telecom",
+                population=700,
+                mobile=True,
+                fixed_asn=12844,
+                transcoder=TranscoderSpec((0.53,), 0.06),
+            ),
+        ),
+        residual_hijack_ratio=0.012,
+    ),
+)
+
+
+#: Full-scale populations for countries without named behaviours.
+TAIL_POPULATIONS: dict[str, int] = {
+    "RU": 40_000, "IT": 22_000, "PL": 18_000, "UA": 15_000, "CA": 14_000,
+    "MX": 13_000, "NL": 12_000, "VN": 11_000, "JP": 10_000, "TH": 9_000,
+    "RO": 9_000, "KR": 8_000, "CO": 8_000, "SA": 7_000, "CZ": 7_000,
+    "SE": 7_000, "BE": 7_000, "HU": 6_000, "PT": 6_000, "CH": 6_000,
+    "AT": 6_000, "CL": 6_000, "VE": 6_000, "TW": 6_000, "PK": 6_000,
+    "AE": 5_000, "BG": 5_000, "PE": 5_000, "NO": 4_000, "DK": 4_000,
+    "FI": 4_000, "RS": 4_000, "HK": 4_000, "BD": 4_000, "NG": 4_000,
+    "IE": 3_000, "HR": 3_000, "SK": 3_000, "EC": 3_000, "KE": 3_000,
+    "DZ": 3_000, "IQ": 3_000, "SG": 3_000, "NZ": 3_000, "LK": 2_000,
+    "GE": 2_000, "GH": 2_000, "BY": 2_500, "KZ": 2_500, "MD": 1_500,
+    "LT": 1_800, "LV": 1_600, "EE": 1_400, "SI": 1_500, "BA": 1_500,
+    "MK": 1_200, "AL": 1_200, "CY": 900, "LB": 1_200,
+}
+
+#: Default residual hijack ratio for tail countries, keyed by a stable hash:
+#: roughly 10% of countries get zero (the paper found 15 countries with no
+#: hijacked nodes); the rest average ~0.9% — back-computed from Table 3:
+#: the named countries account for ~30.4K of the paper's 35.8K hijacked
+#: nodes, leaving ~0.9% for the remaining ~605K measured nodes.
+TAIL_HIJACK_MAX = 0.016
+TAIL_HIJACK_BASE = 0.002
+TAIL_HIJACK_ZERO_FRACTION = 0.10
+
+
+def _stable_draw(key: str) -> float:
+    """A well-distributed deterministic draw in [0, 1) keyed by a string."""
+    import zlib
+
+    return (zlib.crc32(key.encode("ascii")) % 1_000_000) / 1_000_000
+
+
+def tail_population(code: str) -> int:
+    """Full-scale node population for an unnamed country (stable per code)."""
+    if code in TAIL_POPULATIONS:
+        return TAIL_POPULATIONS[code]
+    return 400 + int(_stable_draw("pop:" + code) * 2_200)
+
+
+def tail_hijack_ratio(code: str) -> float:
+    """Residual hijack ratio for an unnamed country (stable per code)."""
+    draw = _stable_draw("hijack:" + code)
+    if draw < TAIL_HIJACK_ZERO_FRACTION:
+        return 0.0
+    return TAIL_HIJACK_BASE + (draw - TAIL_HIJACK_ZERO_FRACTION) * TAIL_HIJACK_MAX

@@ -1,0 +1,15 @@
+"""SMTP substrate for the paper's stated future work (§3.4).
+
+"Additionally, we could extend our methodologies for VPNs that allow
+arbitrary traffic to be sent, enabling us to capture end-to-end connectivity
+violations in protocols like SMTP; we leave exploring this further to future
+work."  — this subpackage implements the substrate that extension needs: an
+SMTP server model with EHLO capabilities and STARTTLS, plus the classic
+in-path violation against it (STARTTLS stripping, where a middlebox removes
+the STARTTLS capability so mail flows in cleartext).
+"""
+
+from repro.smtpsim.session import SmtpDialogue, SmtpServer, STARTTLS_CAPABILITY
+from repro.smtpsim.stripper import StartTlsStripper
+
+__all__ = ["SmtpDialogue", "SmtpServer", "STARTTLS_CAPABILITY", "StartTlsStripper"]

@@ -1,0 +1,48 @@
+"""STARTTLS stripping — the SMTP analogue of the paper's DNS/HTTP rewrites.
+
+A stripping middlebox removes ``STARTTLS`` from the EHLO capability list and
+fails the upgrade if the client tries anyway, forcing mail to flow in
+cleartext where the box can read it.  This attack was documented in the wild
+at the time of the paper (ISPs and security boxes downgrading port-25
+sessions), making it the natural first target for the §3.4 extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.middlebox.base import stable_fraction
+from repro.smtpsim.session import STARTTLS_CAPABILITY, SmtpDialogue
+
+
+class StartTlsStripper:
+    """An in-path box stripping STARTTLS for a fraction of subscribers."""
+
+    def __init__(self, operator: str, strip_rate: float = 1.0) -> None:
+        if not 0.0 <= strip_rate <= 1.0:
+            raise ValueError(f"strip_rate out of range: {strip_rate}")
+        self.operator = operator
+        self.strip_rate = strip_rate
+
+    def applies_to(self, node_zid: str) -> bool:
+        """Whether this subscriber's port-25 traffic crosses the box."""
+        if self.strip_rate >= 1.0:
+            return True
+        return stable_fraction("striptls", self.operator, node_zid) < self.strip_rate
+
+    def filter_dialogue(self, dialogue: SmtpDialogue, node_zid: str) -> SmtpDialogue:
+        """Rewrite the observed dialogue: no STARTTLS offered, upgrade dead."""
+        if not self.applies_to(node_zid):
+            return dialogue
+        stripped = tuple(
+            cap for cap in dialogue.capabilities if cap != STARTTLS_CAPABILITY
+        )
+        # With the capability gone, a standards-following client never sends
+        # STARTTLS, so the observed dialogue shows no attempt at all.
+        return replace(
+            dialogue,
+            capabilities=stripped,
+            starttls_attempted=False,
+            starttls_accepted=False,
+            tls_chain=None,
+        )

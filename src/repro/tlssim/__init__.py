@@ -1,0 +1,29 @@
+"""TLS substrate: structural certificates, root store, validation, handshakes.
+
+The certificate-replacement experiment (§6) needs exactly the parts of X.509
+that its analysis touches: issuer/subject names, validity windows, public-key
+identity (the paper checks whether AV products reuse one key per host),
+signature linkage from leaf to root, and chain validation against an
+OS-X-style root store.  Cryptographic hardness is irrelevant to every one of
+those checks, so certificates here are *structural*: a signature is a record
+of which key signed which certificate, and validation verifies the linkage.
+"""
+
+from repro.tlssim.certs import Certificate, CertificateAuthority, KeyPair, CertificateChain
+from repro.tlssim.rootstore import RootStore, build_osx_root_store
+from repro.tlssim.validation import ValidationError, ValidationResult, validate_chain
+from repro.tlssim.handshake import TlsEndpoint, StaticTlsEndpoint
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "KeyPair",
+    "CertificateChain",
+    "RootStore",
+    "build_osx_root_store",
+    "ValidationError",
+    "ValidationResult",
+    "validate_chain",
+    "TlsEndpoint",
+    "StaticTlsEndpoint",
+]

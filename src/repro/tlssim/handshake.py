@@ -1,0 +1,76 @@
+"""TLS endpoints: the server side of a handshake.
+
+A :class:`TlsEndpoint` is anything listening on port 443 in the simulated
+Internet.  The measurement client "completes a TLS handshake and records the
+SSL certificates presented; we then terminate the connection without actually
+requesting any content" (§6.1) — so the only thing an endpoint must do is
+present a certificate chain for a requested server name.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.tlssim.certs import CertificateChain
+
+
+class TlsEndpoint(Protocol):
+    """The handshake surface: present a chain for an SNI server name."""
+
+    def certificate_chain(self, server_name: str) -> CertificateChain:
+        """The chain this endpoint presents when asked for ``server_name``."""
+        ...
+
+
+class StaticTlsEndpoint:
+    """An origin server presenting one fixed chain (most real sites).
+
+    The paper's three *invalid* test sites are instances of this with
+    deliberately broken chains (self-signed, expired, wrong common name).
+    """
+
+    def __init__(self, chain: CertificateChain) -> None:
+        self._chain = chain
+
+    def certificate_chain(self, server_name: str) -> CertificateChain:
+        """Present the fixed chain regardless of SNI (like a single-cert vhost)."""
+        return self._chain
+
+
+class RotatingTlsEndpoint:
+    """A CDN-fronted site: different (all valid) chains on different servers.
+
+    §6.1 footnote 20: "We cannot do an exact match check on the certificate,
+    as many sites use content delivery networks and end up using different
+    certificates on different servers."  This endpoint reproduces that
+    reality — successive handshakes see successive chains — so the
+    measurement's chain-*validation* check is exercised against exactly the
+    case that rules exact-matching out.
+    """
+
+    def __init__(self, chains: "list[CertificateChain]") -> None:
+        if not chains:
+            raise ValueError("at least one chain required")
+        self._chains = list(chains)
+        self._cursor = 0
+
+    def certificate_chain(self, server_name: str) -> CertificateChain:
+        """Present the next edge server's chain (round-robin)."""
+        chain = self._chains[self._cursor % len(self._chains)]
+        self._cursor += 1
+        return chain
+
+
+class SniTlsEndpoint:
+    """An endpoint hosting several names, each with its own chain (CDN-style)."""
+
+    def __init__(self, chains_by_name: dict[str, CertificateChain]) -> None:
+        self._chains = {name.lower(): chain for name, chain in chains_by_name.items()}
+
+    def add(self, server_name: str, chain: CertificateChain) -> None:
+        """Host an additional name."""
+        self._chains[server_name.lower()] = chain
+
+    def certificate_chain(self, server_name: str) -> CertificateChain:
+        """Present the chain for the requested name; unknown names raise KeyError."""
+        return self._chains[server_name.lower()]

@@ -1,0 +1,68 @@
+"""Trusted root store.
+
+The paper validates captured chains against "the OS X 10.11 root store ...
+187 unique root certificates" (§6.1, footnote 19).  :func:`build_osx_root_store`
+creates a deterministic stand-in with the same cardinality; the measurement
+client trusts exactly these roots, and — crucially — *not* the private roots
+AV products install on end hosts, which is why AV-spoofed chains are
+detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.tlssim.certs import Certificate, CertificateAuthority
+
+#: The paper's root-store size.
+OSX_ROOT_COUNT = 187
+
+
+class RootStore:
+    """A set of trusted root CA certificates, keyed by public key."""
+
+    def __init__(self, roots: Iterable[Certificate] = ()) -> None:
+        self._by_key: dict[str, Certificate] = {}
+        for root in roots:
+            self.add(root)
+
+    def add(self, root: Certificate) -> None:
+        """Trust a root; it must be a self-signed CA certificate."""
+        if not root.is_ca:
+            raise ValueError(f"root {root.subject_cn!r} is not a CA certificate")
+        if not root.is_self_signed:
+            raise ValueError(f"root {root.subject_cn!r} is not self-signed")
+        self._by_key[root.public_key_id] = root
+
+    def trusts_key(self, key_id: str) -> bool:
+        """Whether a signing key belongs to a trusted root."""
+        return key_id in self._by_key
+
+    def trusts(self, cert: Certificate) -> bool:
+        """Whether a certificate *is* one of the trusted roots."""
+        stored = self._by_key.get(cert.public_key_id)
+        return stored is not None and stored.fingerprint() == cert.fingerprint()
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[Certificate]:
+        return iter(self._by_key.values())
+
+
+def build_osx_root_store(count: int = OSX_ROOT_COUNT) -> tuple[RootStore, list[CertificateAuthority]]:
+    """A deterministic root store of ``count`` CAs plus the CA objects.
+
+    Returns both the store (for the measurement client) and the authorities
+    (so the world builder can have real web sites issue from them).
+    """
+    authorities = [
+        CertificateAuthority(
+            common_name=f"TfT Trust Services Root CA {index:03d}",
+            org=f"TfT Trust Services {index:03d}",
+            country="US",
+        )
+        for index in range(1, count + 1)
+    ]
+    store = RootStore(authority.certificate for authority in authorities)
+    return store, authorities

@@ -1,0 +1,87 @@
+"""Protocol timeline capture (Figures 1–4).
+
+Figures 1–4 of the paper are *timeline diagrams* of who talks to whom during
+a request: the Luminati request path (Fig. 1), the NXDOMAIN measurement
+(Fig. 2), the HTTPS two-phase scan (Fig. 3), and the monitoring probe
+(Fig. 4).  We reproduce them as machine-checkable event traces: components
+append :class:`TraceStep` records to a :class:`Timeline`, tests assert the
+step sequence matches the paper's diagram, and :meth:`Timeline.render`
+produces the human-readable figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One arrow in a timeline diagram: ``actor`` does ``action`` (to ``target``)."""
+
+    actor: str
+    action: str
+    target: str = ""
+    detail: str = ""
+
+    def label(self) -> str:
+        """Compact ``actor -> target: action`` form used in assertions."""
+        arrow = f" -> {self.target}" if self.target else ""
+        return f"{self.actor}{arrow}: {self.action}"
+
+
+@dataclass(slots=True)
+class Timeline:
+    """An ordered protocol trace with a title, renderable as a figure."""
+
+    title: str
+    steps: list[TraceStep] = field(default_factory=list)
+
+    def add(self, actor: str, action: str, target: str = "", detail: str = "") -> None:
+        """Append one step."""
+        self.steps.append(TraceStep(actor=actor, action=action, target=target, detail=detail))
+
+    def labels(self) -> list[str]:
+        """All step labels in order (what tests compare against the diagrams)."""
+        return [step.label() for step in self.steps]
+
+    def actors(self) -> list[str]:
+        """Distinct actors in first-appearance order."""
+        seen: dict[str, None] = {}
+        for step in self.steps:
+            seen.setdefault(step.actor)
+            if step.target:
+                seen.setdefault(step.target)
+        return list(seen)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def render(self) -> str:
+        """Render as a numbered timeline, one circled step per line."""
+        lines = [self.title, "=" * len(self.title)]
+        for number, step in enumerate(self.steps, start=1):
+            arrow = f" -> {step.target}" if step.target else ""
+            detail = f"  [{step.detail}]" if step.detail else ""
+            lines.append(f"({number}) {step.actor}{arrow}: {step.action}{detail}")
+        return "\n".join(lines)
+
+
+class Tracer:
+    """A nullable timeline holder: components trace only when one is attached."""
+
+    def __init__(self, timeline: Optional[Timeline] = None) -> None:
+        self.timeline = timeline
+
+    @property
+    def active(self) -> bool:
+        """Whether tracing is on."""
+        return self.timeline is not None
+
+    def add(self, actor: str, action: str, target: str = "", detail: str = "") -> None:
+        """Record a step when tracing is active; no-op otherwise."""
+        if self.timeline is not None:
+            self.timeline.add(actor, action, target, detail)

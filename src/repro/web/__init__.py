@@ -1,0 +1,29 @@
+"""HTTP substrate: messages, content corpus, synthetic JPEG, measurement server.
+
+The HTTP experiments need (a) ground-truth objects whose in-flight
+modification can be detected byte-for-byte (§5.1's 9 KB HTML / 39 KB JPEG /
+258 KB JavaScript / 3 KB CSS), and (b) a measurement web server whose access
+log captures both the exit nodes' requests and any unexpected third-party
+re-fetches (§7's content-monitoring detector).
+"""
+
+from repro.web.http import HttpRequest, HttpResponse, AccessLog, AccessLogEntry
+from repro.web.jpeg import SyntheticJpeg, encode_jpeg, decode_jpeg, transcode_to_ratio
+from repro.web.content import ContentCorpus, ObjectKind
+from repro.web.server import MeasurementWebServer, HijackPageServer, BlockPageServer
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "AccessLog",
+    "AccessLogEntry",
+    "SyntheticJpeg",
+    "encode_jpeg",
+    "decode_jpeg",
+    "transcode_to_ratio",
+    "ContentCorpus",
+    "ObjectKind",
+    "MeasurementWebServer",
+    "HijackPageServer",
+    "BlockPageServer",
+]

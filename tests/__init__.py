@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Several test modules import shared builders via ``from tests.conftest
+import ...``; the package marker keeps those imports working under both
+``pytest`` and ``python -m pytest`` invocations.
+"""

@@ -1,0 +1,90 @@
+"""Shared fixtures: worlds at several scales.
+
+``tiny_world`` is a hand-specified three-country world with every violation
+class planted at high rates — fast to build and crawl, used by experiment
+tests that need planted-vs-measured comparisons.  ``small_world`` is the full
+profile universe at 1% scale, used by structural/integration tests.
+Session-scoped: experiments only append to logs and advance the clock, which
+the assertions tolerate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import WorldConfig, build_world
+from repro.sim.profiles import (
+    CountrySpec,
+    IspSpec,
+    PathHijackSpec,
+    ResolverHijackSpec,
+    TranscoderSpec,
+)
+
+
+def tiny_country_specs() -> tuple[CountrySpec, ...]:
+    """Three countries exercising every planted behaviour, ~2K nodes total."""
+    return (
+        CountrySpec(
+            code="US",
+            population=900,
+            isps=(
+                IspSpec(
+                    name="HijackNet",
+                    share=0.3,
+                    major_resolvers=3,
+                    major_resolver_nodes=200,
+                    resolver_hijack=ResolverHijackSpec("search.hijacknet.example"),
+                    path_hijack=PathHijackSpec("search.hijacknet.example"),
+                    external_dns_fraction=0.15,
+                ),
+                IspSpec(name="CleanNet", share=0.4, external_dns_fraction=0.2),
+            ),
+        ),
+        CountrySpec(
+            code="GB",
+            population=700,
+            isps=(
+                IspSpec(
+                    name="WatchfulISP",
+                    share=0.5,
+                    monitor="TalkTalk",
+                    monitor_rate=0.45,
+                    monitor_ip_count=3,
+                ),
+            ),
+        ),
+        CountrySpec(
+            code="TR",
+            population=400,
+            isps=(
+                IspSpec(
+                    name="MobileSqueeze",
+                    population=60,
+                    mobile=True,
+                    fixed_asn=64601,
+                    transcoder=TranscoderSpec((0.5,), 0.9),
+                ),
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A deterministic ~2K-node world with all behaviours planted."""
+    config = WorldConfig(scale=1.0, seed=7, include_rare_tail=False, alexa_countries=3)
+    return build_world(config, countries=tiny_country_specs())
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """The full profile universe at 1% scale (~9K nodes plus floored ISPs)."""
+    return build_world(WorldConfig(scale=0.01, seed=11))
+
+
+@pytest.fixture()
+def fresh_tiny_world():
+    """A function-scoped tiny world for tests that mutate global state."""
+    config = WorldConfig(scale=1.0, seed=7, include_rare_tail=False, alexa_countries=3)
+    return build_world(config, countries=tiny_country_specs())

@@ -1,0 +1,117 @@
+"""Tests for the prose-level analyses: AS dispersion, topology, on-path test."""
+
+import pytest
+
+from repro.core.analysis import AsDispersion, as_dispersion
+from repro.net.asn import RouteViewsTable
+from repro.net.orgmap import AsOrgMap
+from repro.net.topology import AsTopology, offpath_monitor_fraction
+
+
+class TestAsDispersion:
+    def test_counts(self):
+        pairs = (
+            [(1, True)] * 10          # AS 1: 100% affected
+            + [(2, False)] * 10       # AS 2: clean
+            + [(3, True)] * 2 + [(3, False)] * 8   # AS 3: 20%
+            + [(4, True)] * 1 + [(4, False)] * 19  # AS 4: 5%
+            + [(5, True)] * 3         # AS 5: below min_nodes, ignored
+        )
+        stats = as_dispersion(pairs, min_nodes=10)
+        assert stats.groups_total == 4
+        assert stats.groups_clean == 1
+        assert stats.groups_over_tenth == 2   # AS 1 and AS 3
+        assert stats.groups_over_third == 1   # AS 1 only
+        assert stats.clean_fraction == 0.25
+
+    def test_none_asns_skipped(self):
+        stats = as_dispersion([(None, True)] * 20, min_nodes=1)
+        assert stats.groups_total == 0
+        assert stats.clean_fraction == 0.0
+
+    def test_paper_style_software_signature(self, small_world):
+        """Certificate replacement must look AS-independent (§6.2)."""
+        from repro.core.experiments.https_mitm import HttpsMitmExperiment
+
+        dataset = HttpsMitmExperiment(small_world, seed=501).run()
+        stats = as_dispersion(
+            (record.asn, record.any_replaced) for record in dataset.records
+        )
+        # Paper: only 1.2% of ASes have >10% of nodes replaced.
+        assert stats.over_tenth_fraction < 0.05
+        assert stats.groups_over_third <= 2
+
+
+def _tiny_tables():
+    routeviews = RouteViewsTable()
+    orgmap = AsOrgMap()
+    orgmap.register("org-a", "ISP A", "US")
+    orgmap.register("org-b", "ISP B", "GB")
+    orgmap.register("org-research", "Research", "US")
+    orgmap.register("org-monitor", "Monitor Co", "JP")
+    for asn, org in ((100, "org-a"), (101, "org-a"), (200, "org-b"),
+                     (300, "org-research"), (400, "org-monitor")):
+        routeviews.register(asn, org)
+        orgmap.assign(asn, org)
+        from repro.net.ip import Prefix
+
+        routeviews.announce(asn, Prefix((asn % 256) << 24, 8))
+    return routeviews, orgmap
+
+
+class TestAsTopology:
+    def test_paths_exist_between_all_ases(self):
+        routeviews, orgmap = _tiny_tables()
+        topology = AsTopology.from_world_tables(routeviews, orgmap)
+        assert topology.as_count == 5
+        path = topology.path(100, 200)
+        assert path is not None
+        assert path[0] == 100 and path[-1] == 200
+
+    def test_same_org_short_path(self):
+        routeviews, orgmap = _tiny_tables()
+        topology = AsTopology.from_world_tables(routeviews, orgmap)
+        assert topology.path(100, 101) == [100, 101]
+
+    def test_unknown_as_returns_none(self):
+        routeviews, orgmap = _tiny_tables()
+        topology = AsTopology.from_world_tables(routeviews, orgmap)
+        assert topology.path(100, 999) is None
+        assert not topology.on_path(999, 100, 200)
+
+    def test_source_and_destination_are_on_path(self):
+        routeviews, orgmap = _tiny_tables()
+        topology = AsTopology.from_world_tables(routeviews, orgmap)
+        assert topology.on_path(100, 100, 300)
+        assert topology.on_path(300, 100, 300)
+
+    def test_unrelated_as_is_off_path(self):
+        routeviews, orgmap = _tiny_tables()
+        topology = AsTopology.from_world_tables(routeviews, orgmap)
+        # The monitor's AS (another org, another country) is not on the
+        # US-customer -> US-research-server route.
+        assert not topology.on_path(400, 100, 300)
+
+    def test_world_scale_build(self, small_world):
+        topology = AsTopology.from_world_tables(small_world.routeviews, small_world.orgmap)
+        assert topology.as_count == len(small_world.routeviews)
+        host = small_world.hosts[0]
+        server_asn = small_world.routeviews.ip_to_asn(small_world.measurement_server_ip)
+        assert topology.path(host.asn, server_asn) is not None
+
+
+class TestOffPathMonitoring:
+    def test_monitors_are_off_path(self, small_world):
+        """§7: unexpected requests come from third parties, not on-path caches."""
+        from repro.core.experiments.monitoring import MonitoringExperiment
+
+        dataset = MonitoringExperiment(small_world, seed=502).run()
+        topology = AsTopology.from_world_tables(
+            small_world.routeviews, small_world.orgmap
+        )
+        server_asn = small_world.routeviews.ip_to_asn(small_world.measurement_server_ip)
+        off_path, total = offpath_monitor_fraction(dataset.records, topology, server_asn)
+        assert total > 0
+        # TalkTalk/Tiscali monitor from inside the subscriber's own ISP (on
+        # the path); the AV/VPN entities are squarely off-path.
+        assert off_path / total > 0.5

@@ -1,0 +1,80 @@
+"""Tests for traffic accounting: per-GB billing meter and the §3.4 ethics cap."""
+
+import pytest
+
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.core.experiments.https_mitm import HttpsMitmExperiment
+from repro.core.experiments.monitoring import MonitoringExperiment
+from repro.luminati.billing import ETHICS_CAP_BYTES, TrafficLedger
+
+
+class TestTrafficLedger:
+    def test_record_and_totals(self):
+        ledger = TrafficLedger()
+        ledger.record("z1", 1_000)
+        ledger.record("z1", 2_000)
+        ledger.record("z2", 500)
+        assert ledger.bytes_by_zid["z1"] == 3_000
+        assert ledger.total_bytes == 3_500
+        assert ledger.requests == 3
+        assert ledger.total_gb == pytest.approx(3.5e-6)
+
+    def test_cost_estimate(self):
+        ledger = TrafficLedger()
+        ledger.record("z1", 2_000_000_000)  # 2 GB
+        assert ledger.estimated_cost_usd(price_per_gb=25.0) == pytest.approx(50.0)
+
+    def test_violations(self):
+        ledger = TrafficLedger()
+        ledger.record("heavy", ETHICS_CAP_BYTES + 1)
+        ledger.record("light", 10)
+        assert ledger.violations() == [("heavy", ETHICS_CAP_BYTES + 1)]
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficLedger().record("z", -1)
+
+    def test_heaviest(self):
+        ledger = TrafficLedger()
+        for index in range(10):
+            ledger.record(f"z{index}", index * 100)
+        top = ledger.heaviest(3)
+        assert [zid for zid, _count in top] == ["z9", "z8", "z7"]
+
+
+class TestEthicsCompliance:
+    """§3.4: "we never downloaded more than 1 MB" per exit node.
+
+    Running ALL FOUR experiments against one world must keep every node
+    under the cap — the same property the authors promised their exit-node
+    operators.
+    """
+
+    @pytest.fixture(scope="class")
+    def fully_crawled_world(self):
+        from repro.sim import WorldConfig, build_world
+
+        world = build_world(WorldConfig(scale=0.005, seed=51, include_rare_tail=False))
+        DnsHijackExperiment(world, seed=701).run()
+        HttpModExperiment(world, seed=702).run()
+        HttpsMitmExperiment(world, seed=703).run()
+        MonitoringExperiment(world, seed=704).run()
+        return world
+
+    def test_no_node_exceeds_the_cap(self, fully_crawled_world):
+        ledger = fully_crawled_world.client.ledger
+        assert ledger.requests > 0
+        assert ledger.violations() == []
+
+    def test_http_experiment_dominates_per_node_traffic(self, fully_crawled_world):
+        # The four §5 objects total ~309 KB; everything else is tiny.
+        ledger = fully_crawled_world.client.ledger
+        heaviest_zid, heaviest_bytes = ledger.heaviest(1)[0]
+        assert 250_000 < heaviest_bytes <= ETHICS_CAP_BYTES
+
+    def test_billing_meter_plausible(self, fully_crawled_world):
+        ledger = fully_crawled_world.client.ledger
+        # The HTTP crawl's ~310 KB × measured nodes dominates the bill.
+        assert ledger.total_gb > 0.01
+        assert 0 < ledger.estimated_cost_usd() < 1_000

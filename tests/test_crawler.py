@@ -1,0 +1,84 @@
+"""Tests for the crawl controller (sampling + stopping rule)."""
+
+import pytest
+
+from repro.core.crawler import CrawlController
+
+
+class TestCountrySampling:
+    def test_proportional_to_reported_counts(self, tiny_world):
+        controller = CrawlController(tiny_world.client, seed=1)
+        picks = [controller.next_country() for _ in range(3000)]
+        reported = tiny_world.client.reported_countries()
+        total = sum(reported.values())
+        for country, count in reported.items():
+            share = picks.count(country) / len(picks)
+            assert share == pytest.approx(count / total, abs=0.05)
+
+    def test_country_filter(self, tiny_world):
+        controller = CrawlController(tiny_world.client, seed=1, country_filter=["GB"])
+        assert {controller.next_country() for _ in range(100)} == {"GB"}
+
+    def test_empty_filter_rejected(self, tiny_world):
+        with pytest.raises(ValueError):
+            CrawlController(tiny_world.client, country_filter=["ZZ"])
+
+    def test_sessions_unique(self, tiny_world):
+        controller = CrawlController(tiny_world.client, seed=1)
+        sessions = [controller.next_session() for _ in range(100)]
+        assert len(sessions) == len(set(sessions))
+
+
+class TestStoppingRule:
+    def test_budget_stop(self, tiny_world):
+        controller = CrawlController(tiny_world.client, seed=1, max_probes=10)
+        for index in range(10):
+            assert not controller.should_stop
+            controller.record_probe(f"z{index}")
+        assert controller.should_stop
+        assert controller.stats.stop_reason == "budget"
+
+    def test_rate_collapse_stop(self, tiny_world):
+        controller = CrawlController(
+            tiny_world.client, seed=1, window=50, stop_threshold=0.2
+        )
+        # Simulate discovering the same node over and over.
+        for _ in range(49):
+            controller.record_probe("z-same")
+            assert not controller.should_stop
+        controller.record_probe("z-same")
+        assert controller.should_stop
+        assert controller.stats.stop_reason == "rate"
+
+    def test_healthy_discovery_keeps_going(self, tiny_world):
+        controller = CrawlController(
+            tiny_world.client, seed=1, window=50, stop_threshold=0.2
+        )
+        for index in range(200):
+            controller.record_probe(f"z{index}")
+        assert not controller.should_stop
+
+    def test_failures_count_against_rate(self, tiny_world):
+        controller = CrawlController(
+            tiny_world.client, seed=1, window=10, stop_threshold=0.5
+        )
+        for _ in range(10):
+            controller.record_probe(None)
+        assert controller.should_stop
+        assert controller.stats.failures == 10
+
+    def test_stats_bookkeeping(self, tiny_world):
+        controller = CrawlController(tiny_world.client, seed=1)
+        assert controller.record_probe("z1") is True
+        assert controller.record_probe("z1") is False
+        assert controller.record_probe("z2") is True
+        stats = controller.stats
+        assert stats.unique_nodes == 2
+        assert stats.repeats == 1
+        assert stats.probes == 3
+
+    def test_parameter_validation(self, tiny_world):
+        with pytest.raises(ValueError):
+            CrawlController(tiny_world.client, window=0)
+        with pytest.raises(ValueError):
+            CrawlController(tiny_world.client, stop_threshold=2.0)

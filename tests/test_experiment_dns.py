@@ -1,0 +1,175 @@
+"""End-to-end tests of the NXDOMAIN methodology against planted truth."""
+
+import pytest
+
+from repro.core.analysis import AnalysisThresholds, table3_country_hijack, table4_isp_dns
+from repro.core.attribution import (
+    attribute_hijacking,
+    classify_dns_servers,
+    google_dns_hijack_urls,
+    probe_public_hijackers,
+)
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.dnssim.resolver import GooglePublicDns
+
+
+@pytest.fixture(scope="module")
+def dns_run(fresh_tiny_world_module):
+    world = fresh_tiny_world_module
+    dataset = DnsHijackExperiment(world, seed=5).run()
+    return world, dataset
+
+
+@pytest.fixture(scope="module")
+def fresh_tiny_world_module():
+    from tests.conftest import tiny_country_specs
+    from repro.sim import WorldConfig, build_world
+
+    config = WorldConfig(scale=1.0, seed=7, include_rare_tail=False, alexa_countries=3)
+    return build_world(config, countries=tiny_country_specs())
+
+
+class TestDnsCrawl:
+    def test_covers_most_nodes(self, dns_run):
+        world, dataset = dns_run
+        assert dataset.node_count > 0.7 * world.truth.nodes_total
+
+    def test_no_duplicate_nodes(self, dns_run):
+        _world, dataset = dns_run
+        zids = [record.zid for record in dataset.records]
+        assert len(zids) == len(set(zids))
+
+    def test_exit_ips_belong_to_measured_nodes(self, dns_run):
+        world, dataset = dns_run
+        by_zid = {host.zid: host for host in world.hosts}
+        mismatches = 0
+        for record in dataset.records[::7]:
+            host = by_zid[record.zid]
+            if record.exit_ip != host.ip and not host.vpn_egress_ips:
+                mismatches += 1
+        # Bluecoat-style prefetches can very occasionally front-run the
+        # node's own request; anything beyond that is a bug.
+        assert mismatches <= len(dataset.records[::7]) * 0.01
+
+    def test_dns_server_ips_never_in_superproxy_whitelist(self, dns_run):
+        _world, dataset = dns_run
+        for record in dataset.records:
+            assert not GooglePublicDns.is_superproxy_egress(record.dns_server_ip)
+
+    def test_asn_and_country_resolved(self, dns_run):
+        _world, dataset = dns_run
+        with_asn = sum(1 for r in dataset.records if r.asn is not None)
+        assert with_asn > 0.99 * dataset.node_count
+
+
+class TestHijackDetection:
+    def test_measured_matches_planted_truth(self, dns_run):
+        world, dataset = dns_run
+        by_zid = {host.zid: host for host in world.hosts}
+        false_negatives = 0
+        false_positives = 0
+        checked = 0
+        for record in dataset.records:
+            truth = by_zid[record.zid].truth
+            planted = "hijack_vector" in truth
+            checked += 1
+            if planted and not record.hijacked:
+                false_negatives += 1
+            if record.hijacked and not planted:
+                false_positives += 1
+        # Hijack rates below 1.0 cause some planted nodes to escape on their
+        # particular probe name; the reverse direction must be near-perfect.
+        assert false_positives <= checked * 0.005
+        assert false_negatives <= checked * 0.02
+
+    def test_hijacked_pages_contain_landing_domains(self, dns_run):
+        _world, dataset = dns_run
+        hijacked = [r for r in dataset.records if r.hijacked]
+        assert hijacked
+        with_page = sum(1 for r in hijacked if b"search" in r.page or b"href" in r.page)
+        assert with_page == len(hijacked)
+
+    def test_clean_records_have_no_page(self, dns_run):
+        _world, dataset = dns_run
+        for record in dataset.records:
+            if not record.hijacked:
+                assert record.page == b""
+
+
+class TestDnsAnalysis:
+    def test_country_table(self, dns_run):
+        _world, dataset = dns_run
+        rows = table3_country_hijack(dataset, AnalysisThresholds(country_min_nodes=50))
+        by_country = {row.country: row for row in rows}
+        # Only US has planted hijacking; its HijackNet share is 30%.
+        assert by_country["US"].ratio == pytest.approx(0.3, abs=0.08)
+        assert by_country["GB"].ratio < 0.02
+        assert rows[0].country == "US"
+
+    def test_server_classification(self, dns_run):
+        world, dataset = dns_run
+        classification = classify_dns_servers(
+            dataset, world.routeviews, world.orgmap, AnalysisThresholds()
+        )
+        assert classification.hijacking_isp_servers
+        for info in classification.hijacking_isp_servers:
+            assert info.org_name == "HijackNet"
+        # Google is used from several countries: it must classify as public.
+        public_names = {info.org_name for info in classification.public}
+        assert "Google LLC" in public_names
+
+    def test_table4_aggregation(self, dns_run):
+        world, dataset = dns_run
+        classification = classify_dns_servers(
+            dataset, world.routeviews, world.orgmap, AnalysisThresholds()
+        )
+        rows = table4_isp_dns(classification, world.orgmap)
+        assert len(rows) == 1
+        row = rows[0]
+        assert (row.country, row.isp) == ("US", "HijackNet")
+        assert row.dns_servers >= 3  # three majors planted
+        assert row.exit_nodes > 100
+
+    def test_attribution_mostly_isp(self, dns_run):
+        world, dataset = dns_run
+        classification = classify_dns_servers(
+            dataset, world.routeviews, world.orgmap, AnalysisThresholds()
+        )
+        summary = attribute_hijacking(dataset, classification, world.orgmap)
+        assert summary.hijacked_total == dataset.hijacked_count
+        assert summary.fraction("isp") > 0.7
+
+    def test_google_dns_hijack_urls_catch_path_hijacker(self, dns_run):
+        world, dataset = dns_run
+        rows, victim_count = google_dns_hijack_urls(
+            dataset, world.orgmap, AnalysisThresholds(url_min_nodes=2)
+        )
+        assert victim_count > 0
+        domains = {row.domain for row in rows}
+        # HijackNet's transparent proxy intercepts its external-DNS users.
+        assert "search.hijacknet.example" in domains
+        for row in rows:
+            if row.domain == "search.hijacknet.example":
+                assert row.category == "isp"
+
+    def test_probe_public_hijackers_empty_when_none_planted(self, dns_run):
+        world, dataset = dns_run
+        classification = classify_dns_servers(
+            dataset, world.routeviews, world.orgmap, AnalysisThresholds()
+        )
+        probes = probe_public_hijackers(classification, world.internet, world.prober_ip)
+        assert probes == []  # tiny world plants no public hijackers
+
+
+class TestTimelineTrace:
+    def test_figure2_steps(self, dns_run):
+        world, _dataset = dns_run
+        experiment = DnsHijackExperiment(world, seed=9)
+        timeline = experiment.trace_single_probe()
+        labels = timeline.labels()
+        assert any("client -> super proxy: proxy request" in label for label in labels)
+        assert any("DNS request via Google" in label for label in labels)
+        assert any("exit node" in label for label in labels)
+        rendered = timeline.render()
+        assert rendered.startswith("Figure 2")
+        assert "(1)" in rendered

@@ -1,0 +1,126 @@
+"""End-to-end tests of the content-monitoring methodology."""
+
+import pytest
+
+from repro.core.analysis import AnalysisThresholds, table9_monitoring
+from repro.core.experiments.monitoring import (
+    WATCH_WINDOW_SECONDS,
+    MonitoringExperiment,
+)
+from repro.core.reports import cdf_at
+from repro.sim import WorldConfig, build_world
+from tests.conftest import tiny_country_specs
+
+
+@pytest.fixture(scope="module")
+def monitoring_run():
+    config = WorldConfig(scale=1.0, seed=7, include_rare_tail=False, alexa_countries=3)
+    world = build_world(config, countries=tiny_country_specs())
+    dataset = MonitoringExperiment(world, seed=37).run()
+    return world, dataset
+
+
+class TestMonitoringCrawl:
+    def test_covers_most_nodes(self, monitoring_run):
+        world, dataset = monitoring_run
+        assert dataset.node_count > 0.7 * world.truth.nodes_total
+
+    def test_unique_domains_per_node(self, monitoring_run):
+        _world, dataset = monitoring_run
+        domains = [record.domain for record in dataset.records]
+        assert len(domains) == len(set(domains))
+
+    def test_unmonitored_nodes_get_exactly_one_request(self, monitoring_run):
+        world, dataset = monitoring_run
+        by_zid = {host.zid: host for host in world.hosts}
+        for record in dataset.records:
+            host = by_zid[record.zid]
+            if "monitor" not in host.truth:
+                assert not record.monitored
+
+
+class TestDetection:
+    def test_monitored_truth_detected(self, monitoring_run):
+        world, dataset = monitoring_run
+        by_zid = {host.zid: host for host in world.hosts}
+        missed = hit = 0
+        for record in dataset.records:
+            host = by_zid[record.zid]
+            if host.truth.get("monitor") == "TalkTalk":
+                monitor = world.monitors["TalkTalk"]
+                if monitor.monitors_node(record.zid):
+                    if record.monitored:
+                        hit += 1
+                    else:
+                        missed += 1
+        assert hit > 0
+        assert missed == 0
+
+    def test_monitor_rate_reflected(self, monitoring_run):
+        world, dataset = monitoring_run
+        # WatchfulISP serves half of GB and monitors 45% of its subscribers
+        # (~22.5% of the country); global host software adds a few points.
+        gb_records = [r for r in dataset.records if r.country == "GB"]
+        monitored = sum(1 for r in gb_records if r.monitored)
+        assert monitored / len(gb_records) == pytest.approx(0.25, abs=0.07)
+
+    def test_unexpected_sources_belong_to_monitor_entities(self, monitoring_run):
+        world, dataset = monitoring_run
+        entity_ips = set()
+        for monitor in world.monitors.values():
+            entity_ips.update(monitor.all_source_ips)
+        for record in dataset.records:
+            for request in record.unexpected:
+                assert request.source_ip in entity_ips
+
+    def test_delays_match_entity_model(self, monitoring_run):
+        world, dataset = monitoring_run
+        # TalkTalk schedule: first request ~30 s, second within the hour.
+        analysis = table9_monitoring(dataset, world.orgmap, AnalysisThresholds())
+        delays = analysis.delays["WatchfulISP"]
+        assert delays
+        assert all(delay <= 3_700.0 for delay in delays)
+        near_thirty = [d for d in delays if 28.0 <= d <= 32.0]
+        assert len(near_thirty) == pytest.approx(len(delays) / 2, rel=0.1)
+
+    def test_all_unexpected_within_watch_window(self, monitoring_run):
+        _world, dataset = monitoring_run
+        for record in dataset.records:
+            for request in record.unexpected:
+                assert request.delay <= WATCH_WINDOW_SECONDS
+
+
+class TestTable9:
+    def test_isp_monitor_tops_table(self, monitoring_run):
+        world, dataset = monitoring_run
+        analysis = table9_monitoring(dataset, world.orgmap, AnalysisThresholds())
+        assert analysis.rows
+        top = analysis.rows[0]
+        assert top.entity == "WatchfulISP"  # the org owning the source IPs
+        assert top.source_ips <= 3
+        assert top.countries == 1  # ISP-level monitoring is single-country
+
+    def test_global_software_monitors_also_surface(self, monitoring_run):
+        world, dataset = monitoring_run
+        analysis = table9_monitoring(dataset, world.orgmap, AnalysisThresholds())
+        entities = {row.entity for row in analysis.rows}
+        assert "Trend Micro Inc." in entities
+
+    def test_delay_samples_collected(self, monitoring_run):
+        world, dataset = monitoring_run
+        analysis = table9_monitoring(dataset, world.orgmap, AnalysisThresholds())
+        delays = analysis.delays["WatchfulISP"]
+        row = next(r for r in analysis.rows if r.entity == "WatchfulISP")
+        assert len(delays) == 2 * row.exit_nodes  # two requests per node
+        assert delays == sorted(delays)
+
+
+class TestTimelineTrace:
+    def test_figure4_steps(self):
+        config = WorldConfig(scale=1.0, seed=7, include_rare_tail=False, alexa_countries=3)
+        world = build_world(config, countries=tiny_country_specs())
+        experiment = MonitoringExperiment(world, seed=41)
+        timeline = experiment.trace_single_probe()
+        labels = timeline.labels()
+        assert any("request unique domain" in label for label in labels)
+        assert any("re-fetches content" in label for label in labels)

@@ -1,0 +1,85 @@
+"""Tests for the longitudinal (continuous-measurement) extension."""
+
+import pytest
+
+from repro.ext.longitudinal import LongitudinalStudy, enable_path_hijack
+from repro.sim import WorldConfig, build_world
+from repro.sim.profiles import CountrySpec, IspSpec
+
+
+@pytest.fixture(scope="module")
+def evolving_world():
+    specs = (
+        CountrySpec(
+            code="US",
+            population=900,
+            isps=(
+                IspSpec(name="QuietNet", share=0.5),
+                IspSpec(name="OtherNet", share=0.5),
+            ),
+        ),
+    )
+    config = WorldConfig(scale=1.0, seed=31, include_rare_tail=False, alexa_countries=1)
+    return build_world(config, countries=specs)
+
+
+class TestEnablePathHijack:
+    def test_unknown_isp_rejected(self, evolving_world):
+        with pytest.raises(ValueError):
+            enable_path_hijack(evolving_world, "NoSuchISP", "x.example")
+
+
+class TestLongitudinalStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        specs = (
+            CountrySpec(
+                code="US",
+                population=900,
+                isps=(
+                    IspSpec(name="QuietNet", share=0.5),
+                    IspSpec(name="OtherNet", share=0.5),
+                ),
+            ),
+        )
+        config = WorldConfig(scale=1.0, seed=33, include_rare_tail=False, alexa_countries=1)
+        world = build_world(config, countries=specs)
+        study = LongitudinalStudy(world=world, seed=91)
+
+        study.run_wave()  # wave 0: baseline
+        affected = enable_path_hijack(world, "QuietNet", "assist.quietnet.example")
+        study.run_wave()  # wave 1: after the ISP turned interception on
+        return study, affected
+
+    def test_baseline_wave_is_clean(self, study):
+        runs, _affected = study[0].waves, study[1]
+        baseline = study[0].waves[0]
+        # Only the global public/host baseline, no ISP hijacking planted.
+        assert baseline.ratio < 0.03
+
+    def test_hijacking_visible_after_deployment(self, study):
+        runner, affected = study
+        wave0, wave1 = runner.waves
+        assert affected > 300
+        assert wave1.ratio > wave0.ratio + 0.3  # ~half the country affected
+
+    def test_time_advances_between_waves(self, study):
+        runner, _affected = study
+        assert runner.waves[1].day >= runner.waves[0].day + 0.9
+
+    def test_newly_hijacked_join_is_per_node(self, study):
+        runner, _affected = study
+        flipped = runner.newly_hijacked_nodes(0, 1)
+        assert len(flipped) > 300
+        by_zid = {host.zid: host for host in runner.world.hosts}
+        for zid in flipped[:50]:
+            assert by_zid[zid].truth.get("late_hijack") == "QuietNet"
+
+    def test_churn_changed_addresses_but_not_identities(self, study):
+        runner, _affected = study
+        wave0 = {r.zid: r.exit_ip for r in runner.waves[0].dataset.records}
+        wave1 = {r.zid: r.exit_ip for r in runner.waves[1].dataset.records}
+        common = set(wave0) & set(wave1)
+        assert len(common) > 500  # same machines measured twice
+        moved = sum(1 for zid in common if wave0[zid] != wave1[zid])
+        assert moved / len(common) == pytest.approx(0.25, abs=0.08)

@@ -1,0 +1,155 @@
+"""Tests for the §3.4 extension: SMTP substrate, arbitrary VPN, STARTTLS study."""
+
+import pytest
+
+from repro.ext.arbitrary_vpn import ArbitraryVpnService
+from repro.ext.smtp_study import (
+    StartTlsExperiment,
+    deploy_smtp_measurement_server,
+    plant_striptls_boxes,
+    table_striptls_by_as,
+)
+from repro.luminati.errors import NoPeersError
+from repro.smtpsim.session import STARTTLS_CAPABILITY, SmtpServer
+from repro.smtpsim.stripper import StartTlsStripper
+from repro.tlssim.certs import CertificateChain, self_signed_certificate
+
+
+def make_server(with_tls: bool = True) -> SmtpServer:
+    chain = CertificateChain((self_signed_certificate("mx.example"),)) if with_tls else None
+    return SmtpServer(ip=9000, hostname="mx.example", tls_chain=chain)
+
+
+class TestSmtpServer:
+    def test_banner_and_capabilities(self):
+        server = make_server()
+        assert server.banner.startswith("220 mx.example")
+        assert STARTTLS_CAPABILITY in server.capabilities()
+
+    def test_plaintext_server_never_offers(self):
+        server = make_server(with_tls=False)
+        assert STARTTLS_CAPABILITY not in server.capabilities()
+        dialogue = server.handle_dialogue(try_starttls=True)
+        assert not dialogue.starttls_offered
+        assert not dialogue.starttls_accepted
+
+    def test_upgrade_returns_chain(self):
+        server = make_server()
+        dialogue = server.handle_dialogue(try_starttls=True)
+        assert dialogue.starttls_offered
+        assert dialogue.starttls_accepted
+        assert dialogue.tls_chain is server.tls_chain
+
+    def test_client_may_decline_upgrade(self):
+        server = make_server()
+        dialogue = server.handle_dialogue(try_starttls=False)
+        assert dialogue.starttls_offered
+        assert not dialogue.starttls_attempted
+
+    def test_session_counter(self):
+        server = make_server()
+        server.handle_dialogue(True)
+        server.handle_dialogue(True)
+        assert server.sessions_served == 2
+
+
+class TestStripper:
+    def test_strips_capability_and_upgrade(self):
+        server = make_server()
+        stripper = StartTlsStripper("EvilISP")
+        dialogue = stripper.filter_dialogue(server.handle_dialogue(True), "z1")
+        assert not dialogue.starttls_offered
+        assert not dialogue.starttls_attempted
+        assert dialogue.tls_chain is None
+        # Other capabilities survive.
+        assert "PIPELINING" in dialogue.capabilities
+
+    def test_partial_rate_stable(self):
+        server = make_server()
+        stripper = StartTlsStripper("EvilISP", strip_rate=0.5)
+        outcomes = [
+            stripper.filter_dialogue(server.handle_dialogue(True), f"z{i}").starttls_offered
+            for i in range(300)
+        ]
+        again = [
+            stripper.filter_dialogue(server.handle_dialogue(True), f"z{i}").starttls_offered
+            for i in range(300)
+        ]
+        assert outcomes == again
+        assert 80 < outcomes.count(False) < 220
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            StartTlsStripper("x", strip_rate=1.2)
+
+
+class TestArbitraryVpn:
+    def test_raw_tunnel_any_port(self, fresh_tiny_world):
+        world = fresh_tiny_world
+        server = deploy_smtp_measurement_server(world)
+        vpn = ArbitraryVpnService(world.registry, seed=3)
+        tunnel = vpn.open_raw_tunnel(server.ip, 25)
+        dialogue = tunnel.smtp_probe()
+        assert dialogue.starttls_offered  # no stripper planted yet
+        tunnel.close()
+        with pytest.raises(ConnectionError):
+            tunnel.smtp_probe()
+
+    def test_country_selection(self, fresh_tiny_world):
+        world = fresh_tiny_world
+        server = deploy_smtp_measurement_server(world)
+        vpn = ArbitraryVpnService(world.registry, seed=4)
+        for _ in range(10):
+            tunnel = vpn.open_raw_tunnel(server.ip, 25, country="TR")
+            assert world.registry.by_zid(tunnel.zid).country == "TR"
+
+    def test_no_peers(self, fresh_tiny_world):
+        world = fresh_tiny_world
+        vpn = ArbitraryVpnService(world.registry, seed=5)
+        with pytest.raises(NoPeersError):
+            vpn.open_raw_tunnel(1, 25, country="ZZ")
+
+
+class TestStartTlsStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.sim import WorldConfig, build_world
+        from tests.conftest import tiny_country_specs
+
+        config = WorldConfig(scale=1.0, seed=7, include_rare_tail=False, alexa_countries=3)
+        world = build_world(config, countries=tiny_country_specs())
+        server = deploy_smtp_measurement_server(world)
+        planted = plant_striptls_boxes(
+            world, {"HijackNet": 1.0, "CleanNet": 0.0}, seed=6
+        )
+        dataset = StartTlsExperiment(world, server, seed=88).run()
+        return world, server, planted, dataset
+
+    def test_planting_targets_named_isp_only(self, study):
+        world, _server, planted, _dataset = study
+        assert planted > 0
+        for host in world.hosts:
+            if "striptls" in host.truth:
+                assert host.truth["isp"] == "HijackNet"
+
+    def test_detection_matches_planted_truth(self, study):
+        world, _server, _planted, dataset = study
+        by_zid = {host.zid: host for host in world.hosts}
+        for record in dataset.records:
+            planted = "striptls" in by_zid[record.zid].truth
+            assert (not record.starttls_offered) == planted
+
+    def test_no_chain_replacement_without_mitm(self, study):
+        _world, _server, _planted, dataset = study
+        assert all(not record.chain_replaced for record in dataset.records)
+
+    def test_coverage(self, study):
+        world, _server, _planted, dataset = study
+        assert dataset.node_count > 0.6 * world.truth.nodes_total
+
+    def test_per_as_table_blames_the_isp(self, study):
+        world, _server, _planted, dataset = study
+        rows = table_striptls_by_as(dataset, world.orgmap, min_nodes=10)
+        assert rows
+        assert all(row.isp == "HijackNet" for row in rows)
+        assert rows[0].ratio > 0.85  # strip_rate 1.0, modulo crawl noise

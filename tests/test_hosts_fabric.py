@@ -1,0 +1,192 @@
+"""Tests for the Internet fabric and the end-host traffic path."""
+
+import pytest
+
+from repro.dnssim.authoritative import AuthoritativeServer
+from repro.dnssim.hijack import HijackPolicy
+from repro.dnssim.resolver import RecursiveResolver
+from repro.fabric import Internet, UnreachableError
+from repro.hosts import ExitNodeHost, HostDnsError
+from repro.middlebox.dns_rewrite import HostDnsRewriter, TransparentDnsProxy
+from repro.middlebox.injectors import JsInjector
+from repro.middlebox.monitor import ContentMonitor, DelayModel, DelaySpec
+from repro.middlebox.tls_mitm import MitmBehavior, TlsMitmProduct
+from repro.tlssim.certs import CertificateAuthority
+from repro.tlssim.handshake import StaticTlsEndpoint
+from repro.tlssim.rootstore import build_osx_root_store
+from repro.web.content import ContentCorpus
+from repro.web.http import HttpRequest
+from repro.web.server import HijackPageServer, MeasurementWebServer
+
+
+@pytest.fixture()
+def env():
+    """A minimal hand-wired environment: one zone, one web server, one node."""
+    internet = Internet()
+    auth = AuthoritativeServer("test.example", internet.clock)
+    internet.dns_root.register(auth)
+    corpus = ContentCorpus.build()
+    web = MeasurementWebServer(ip=1000, clock=internet.clock, corpus=corpus)
+    internet.register_web_server(1000, web)
+    auth.register_a("real.test.example", 1000)
+
+    resolver = RecursiveResolver(service_ip=2000, root=internet.dns_root, clock=internet.clock)
+    internet.register_resolver(resolver)
+    host = ExitNodeHost(zid="z-test", ip=3000, asn=64500, resolver=resolver, internet=internet)
+    return internet, auth, web, resolver, host
+
+
+class TestFabric:
+    def test_http_routing(self, env):
+        internet, _auth, web, _resolver, _host = env
+        response = internet.http_fetch(
+            1000, HttpRequest(host="real.test.example", path="/", source_ip=5, time=0.0)
+        )
+        assert response.status == 200
+        assert len(web.log) == 1
+
+    def test_unreachable_http(self, env):
+        internet, *_ = env
+        with pytest.raises(UnreachableError):
+            internet.http_fetch(
+                9999, HttpRequest(host="x", path="/", source_ip=5, time=0.0)
+            )
+
+    def test_duplicate_registration_rejected(self, env):
+        internet, _auth, web, resolver, _host = env
+        with pytest.raises(ValueError):
+            internet.register_web_server(1000, web)
+        with pytest.raises(ValueError):
+            internet.register_resolver(
+                RecursiveResolver(service_ip=2000, root=internet.dns_root, clock=internet.clock)
+            )
+
+    def test_reregistering_same_resolver_ok(self, env):
+        internet, _auth, _web, resolver, _host = env
+        internet.register_resolver(resolver)  # idempotent for the same object
+
+    def test_tls_routing(self, env):
+        internet, *_ = env
+        store, roots = build_osx_root_store(count=2)
+        chain = roots[0].chain_for(roots[0].issue("tls.test.example"))
+        internet.register_tls_endpoint(4000, 443, StaticTlsEndpoint(chain))
+        assert internet.tls_chain(4000, 443, "tls.test.example") is chain
+        with pytest.raises(UnreachableError):
+            internet.tls_chain(4000, 8443, "tls.test.example")
+
+    def test_resolver_lookup(self, env):
+        internet, _auth, _web, resolver, _host = env
+        assert internet.resolver_at(2000) is resolver
+        assert internet.resolver_at(1) is None
+
+
+class TestHostDns:
+    def test_resolve_through_configured_resolver(self, env):
+        _internet, auth, _web, _resolver, host = env
+        answer = host.resolve("real.test.example")
+        assert answer.addresses == (1000,)
+        # The authoritative log saw the resolver's egress, not the host.
+        assert auth.log.sources_for_name("real.test.example") == [2000]
+
+    def test_path_rewriter_applies_to_nxdomain(self, env):
+        _internet, _auth, _web, _resolver, host = env
+        policy = HijackPolicy(operator="ISP", landing_domain="l.example", redirect_ip=7777)
+        host.path_dns_rewriters = (TransparentDnsProxy(policy),)
+        assert host.resolve("missing.test.example").addresses == (7777,)
+
+    def test_host_rewriter_after_path(self, env):
+        _internet, _auth, _web, _resolver, host = env
+        path_policy = HijackPolicy(operator="ISP", landing_domain="isp.example", redirect_ip=1)
+        host_policy = HijackPolicy(operator="AV", landing_domain="av.example", redirect_ip=2)
+        host.path_dns_rewriters = (TransparentDnsProxy(path_policy),)
+        host.host_dns_rewriters = (HostDnsRewriter(host_policy),)
+        # The path box rewrites first; the host software sees an answer and
+        # leaves it alone.
+        assert host.resolve("missing.test.example").addresses == (1,)
+
+
+class TestHostHttp:
+    def test_fetch_with_own_resolution(self, env):
+        _internet, _auth, web, _resolver, host = env
+        response = host.fetch_http("real.test.example", "/")
+        assert response.status == 200
+        assert web.log.entries[-1].source_ip == 3000
+
+    def test_fetch_nxdomain_raises(self, env):
+        _internet, _auth, _web, _resolver, host = env
+        with pytest.raises(HostDnsError):
+            host.fetch_http("missing.test.example", "/")
+
+    def test_fetch_with_superproxy_resolution_skips_own_dns(self, env):
+        _internet, auth, _web, _resolver, host = env
+        response = host.fetch_http("missing.test.example", "/", dest_ip=1000)
+        assert response.status == 200
+        assert auth.log.sources_for_name("missing.test.example") == []
+
+    def test_response_modifiers_apply_in_order(self, env):
+        _internet, _auth, _web, _resolver, host = env
+        host.path_http_modifiers = (JsInjector("isp", "isp.marker.example", 2000),)
+        host.host_http_modifiers = (JsInjector("mal", "mal.marker.example", 2000),)
+        response = host.fetch_http("real.test.example", "/objects/page.html")
+        body = response.body
+        assert body.index(b"isp.marker.example") < body.index(b"mal.marker.example")
+
+    def test_vpn_egress_rewrites_source(self, env):
+        _internet, _auth, web, _resolver, host = env
+        host.vpn_egress_ips = (5001, 5002)
+        host.fetch_http("real.test.example", "/")
+        assert web.log.entries[-1].source_ip in (5001, 5002)
+        # Stable per destination host.
+        first = host.egress_ip_for("real.test.example")
+        assert all(host.egress_ip_for("real.test.example") == first for _ in range(5))
+
+    def test_monitor_hold_delays_logged_time(self, env):
+        internet, _auth, web, _resolver, host = env
+        monitor = ContentMonitor(
+            entity="Hold",
+            source_pools={"default": [8000]},
+            delay_model=DelayModel(
+                requests=(DelaySpec("uniform", 1.0, 2.0),),
+                prefetch_probability=1.0,
+                hold_range=(1.0, 1.0),
+            ),
+        )
+        host.host_monitors = (monitor,)
+        start = internet.clock.now
+        host.fetch_http("real.test.example", "/")
+        entries = web.log.for_host("real.test.example")
+        # Prefetch first (from the monitor), then the held node request.
+        assert entries[0].source_ip == 8000
+        assert entries[1].source_ip == 3000
+        assert entries[1].time == pytest.approx(start + 1.0)
+
+    def test_add_software_appends(self, env):
+        _internet, _auth, _web, _resolver, host = env
+        injector = JsInjector("x", "m.example", 2000)
+        host.add_software(http_modifiers=[injector])
+        assert injector in host.host_http_modifiers
+
+
+class TestHostTls:
+    def test_interceptor_order_path_then_host(self, env):
+        internet, *_rest, host = env
+        store, roots = build_osx_root_store(count=2)
+        origin = roots[0].chain_for(roots[0].issue("tls.test.example"))
+        internet.register_tls_endpoint(4000, 443, StaticTlsEndpoint(origin))
+
+        isp_box = TlsMitmProduct(
+            MitmBehavior(product="IspBox", issuer_cn="ISP Gateway CA"), store
+        )
+        av = TlsMitmProduct(MitmBehavior(product="AV", issuer_cn="AV Root"), store)
+        host.path_tls_interceptors = (isp_box,)
+        host.host_tls_interceptors = (av,)
+        chain = host.tls_handshake(4000, 443, "tls.test.example")
+        # The host-level AV is closest to the client: its issuer wins.
+        assert chain.leaf.issuer_cn == "AV Root"
+
+    def test_no_interceptors_passthrough(self, env):
+        internet, *_rest, host = env
+        _store, roots = build_osx_root_store(count=1)
+        origin = roots[0].chain_for(roots[0].issue("tls.test.example"))
+        internet.register_tls_endpoint(4000, 443, StaticTlsEndpoint(origin))
+        assert host.tls_handshake(4000, 443, "tls.test.example") is origin

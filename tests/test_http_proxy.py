@@ -1,0 +1,135 @@
+"""Tests for transparent-proxy detection (Via headers + shared cache)."""
+
+import pytest
+
+from repro.core.analysis import AnalysisThresholds, table_http_proxies
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.middlebox.http_proxy import TransparentHttpProxy, proxy_via_token
+from repro.sim import WorldConfig, build_world
+from repro.sim.profiles import CountrySpec, IspSpec
+from repro.web.http import HttpRequest, HttpResponse
+
+
+def request(path="/x", time=0.0):
+    return HttpRequest(host="h.example", path=path, source_ip=1, time=time)
+
+
+class TestTransparentHttpProxy:
+    def test_via_header_stamped(self):
+        proxy = TransparentHttpProxy("ISP", "cache1.isp.example")
+        response = proxy.modify_response(request(), HttpResponse.ok(b"x" * 100, "text/plain"), "z1")
+        assert proxy_via_token(response.headers) == "cache1.isp.example"
+
+    def test_cache_serves_stale_body_across_nodes(self):
+        proxy = TransparentHttpProxy("ISP", "c.example")
+        first = proxy.modify_response(
+            request(time=0.0), HttpResponse.ok(b"token-1", "text/plain"), "z1"
+        )
+        second = proxy.modify_response(
+            request(time=10.0), HttpResponse.ok(b"token-2", "text/plain"), "z2"
+        )
+        assert first.body == b"token-1"
+        assert second.body == b"token-1"  # node z2 gets node z1's copy
+        assert second.header("X-Cache") == "HIT"
+        assert proxy.cache_hits == 1
+
+    def test_cache_expires(self):
+        proxy = TransparentHttpProxy("ISP", "c.example", cache_ttl=5.0)
+        proxy.modify_response(request(time=0.0), HttpResponse.ok(b"a", "text/plain"), "z1")
+        late = proxy.modify_response(
+            request(time=100.0), HttpResponse.ok(b"b", "text/plain"), "z1"
+        )
+        assert late.body == b"b"
+
+    def test_html_not_cached(self):
+        proxy = TransparentHttpProxy("ISP", "c.example")
+        proxy.modify_response(request(), HttpResponse.ok(b"<html>1</html>" * 10), "z1")
+        second = proxy.modify_response(
+            request(time=1.0), HttpResponse.ok(b"<html>2</html>" * 10), "z2"
+        )
+        assert b"2" in second.body
+
+    def test_cache_disabled_still_stamps_via(self):
+        proxy = TransparentHttpProxy("ISP", "c.example", cache_enabled=False)
+        proxy.modify_response(request(time=0.0), HttpResponse.ok(b"1", "text/plain"), "z1")
+        second = proxy.modify_response(
+            request(time=1.0), HttpResponse.ok(b"2", "text/plain"), "z1"
+        )
+        assert second.body == b"2"
+        assert proxy_via_token(second.headers) == "c.example"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransparentHttpProxy("ISP", "")
+        with pytest.raises(ValueError):
+            TransparentHttpProxy("ISP", "c", cache_ttl=0)
+
+    def test_no_via_returns_none(self):
+        assert proxy_via_token((("Content-Type", "text/html"),)) is None
+
+
+class TestProxyDetectionExperiment:
+    @pytest.fixture(scope="class")
+    def proxy_run(self):
+        specs = (
+            CountrySpec(
+                code="TN",
+                population=500,
+                isps=(
+                    IspSpec(
+                        name="ProxyMobile",
+                        population=120,
+                        mobile=True,
+                        fixed_asn=64900,
+                        http_proxy_via="wap1.proxymobile.example",
+                    ),
+                    IspSpec(
+                        name="HeaderOnly",
+                        population=60,
+                        fixed_asn=64901,
+                        http_proxy_via="relay.headeronly.example",
+                        http_proxy_cache=False,
+                    ),
+                ),
+            ),
+            CountrySpec(code="US", population=300),
+        )
+        config = WorldConfig(scale=1.0, seed=43, include_rare_tail=False, alexa_countries=2)
+        world = build_world(config, countries=specs)
+        dataset = HttpModExperiment(world, seed=610).run()
+        return world, dataset
+
+    def test_via_tokens_recovered(self, proxy_run):
+        world, dataset = proxy_run
+        by_zid = {host.zid: host for host in world.hosts}
+        for record in dataset.records:
+            planted = by_zid[record.zid].truth.get("http_proxy", "")
+            assert record.via_token == planted
+
+    def test_cache_detected_only_where_enabled(self, proxy_run):
+        world, dataset = proxy_run
+        by_zid = {host.zid: host for host in world.hosts}
+        for record in dataset.records:
+            truth = by_zid[record.zid].truth
+            if truth.get("http_proxy") == "wap1.proxymobile.example":
+                assert record.cached_dynamic
+            else:
+                assert not record.cached_dynamic
+
+    def test_analysis_rows(self, proxy_run):
+        world, dataset = proxy_run
+        rows = table_http_proxies(dataset, world.orgmap, AnalysisThresholds(as_min_nodes=5))
+        by_asn = {row.asn: row for row in rows}
+        assert set(by_asn) == {64900, 64901}
+        assert by_asn[64900].via_token == "wap1.proxymobile.example"
+        assert by_asn[64900].caching > 0
+        assert by_asn[64901].caching == 0
+        assert by_asn[64900].ratio > 0.9  # AS-wide deployment
+
+    def test_proxied_ases_not_flagged_as_modified(self, proxy_run):
+        """Header-only proxies must not pollute the §5 modification counts
+        (detection is body-level)."""
+        world, dataset = proxy_run
+        header_only = [r for r in dataset.records if r.asn == 64901]
+        assert header_only
+        assert all(not record.modified_bodies for record in header_only)

@@ -1,0 +1,257 @@
+"""Integration: all four experiments against the full profile universe.
+
+Runs the complete paper pipeline at 1% scale and checks the *shapes* the
+paper's evaluation reports: headline fractions, orderings, attribution
+splits, and the Figure 5 delay signatures.  Scale-sensitive absolute counts
+get wide tolerance bands; scale-invariant ratios get tight ones.
+"""
+
+import pytest
+
+from repro.core import paper
+from repro.core.analysis import (
+    AnalysisThresholds,
+    table3_country_hijack,
+    table6_js_injection,
+    table7_image_compression,
+    table8_issuers,
+    table9_monitoring,
+)
+from repro.core.attribution import (
+    attribute_hijacking,
+    classify_dns_servers,
+    google_dns_hijack_urls,
+    probe_public_hijackers,
+)
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.core.experiments.https_mitm import HttpsMitmExperiment
+from repro.core.experiments.monitoring import MonitoringExperiment
+from repro.core.reports import cdf_at, same_order
+from repro.web.content import ObjectKind
+
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def thresholds():
+    return AnalysisThresholds.for_scale(SCALE)
+
+
+@pytest.fixture(scope="module")
+def dns_dataset(small_world):
+    return DnsHijackExperiment(small_world, seed=101).run()
+
+
+@pytest.fixture(scope="module")
+def http_dataset(small_world):
+    return HttpModExperiment(small_world, seed=102).run()
+
+
+@pytest.fixture(scope="module")
+def https_dataset(small_world):
+    return HttpsMitmExperiment(small_world, seed=103).run()
+
+
+@pytest.fixture(scope="module")
+def monitoring_dataset(small_world):
+    return MonitoringExperiment(small_world, seed=104).run()
+
+
+class TestDnsIntegration:
+    def test_headline_hijack_fraction(self, dns_dataset):
+        fraction = dns_dataset.hijacked_count / dns_dataset.node_count
+        assert 0.03 <= fraction <= 0.08  # paper: 4.8%
+
+    def test_top_countries_match_paper_order(self, dns_dataset, thresholds):
+        rows = table3_country_hijack(dns_dataset, thresholds)
+        measured_order = [row.country for row in rows]
+        paper_top = [cc for cc, _h, _t in paper.TABLE3]
+        # Malaysia and Indonesia dominate, exactly as in the paper; the
+        # paper's top-10 fills the measured top ranks (near-ties like GB/DE
+        # may swap at small scale).
+        assert measured_order[:2] == ["MY", "ID"]
+        in_paper_top = [cc for cc in measured_order[:7] if cc in set(paper_top)]
+        assert len(in_paper_top) >= 5
+
+    def test_attribution_split(self, dns_dataset, small_world, thresholds):
+        classification = classify_dns_servers(
+            dns_dataset, small_world.routeviews, small_world.orgmap, thresholds
+        )
+        summary = attribute_hijacking(dns_dataset, classification, small_world.orgmap)
+        assert summary.fraction("isp") == pytest.approx(
+            paper.DNS_ATTRIBUTION["isp"], abs=0.07
+        )
+        assert summary.fraction("public") == pytest.approx(
+            paper.DNS_ATTRIBUTION["public"], abs=0.05
+        )
+        assert summary.fraction("other") == pytest.approx(
+            paper.DNS_ATTRIBUTION["other"], abs=0.04
+        )
+
+    def test_hijacking_isp_servers_are_named_isps(self, dns_dataset, small_world, thresholds):
+        classification = classify_dns_servers(
+            dns_dataset, small_world.routeviews, small_world.orgmap, thresholds
+        )
+        paper_isps = {isp for _cc, isp, _s, _n in paper.TABLE4}
+        for info in classification.hijacking_isp_servers:
+            assert info.org_name in paper_isps, info.org_name
+
+    def test_public_hijackers_identified(self, dns_dataset, small_world, thresholds):
+        classification = classify_dns_servers(
+            dns_dataset, small_world.routeviews, small_world.orgmap, thresholds
+        )
+        owners = {info.org_name for info in classification.hijacking_public_servers}
+        assert "Comodo Secure DNS" in owners
+        probes = probe_public_hijackers(
+            classification, small_world.internet, small_world.prober_ip
+        )
+        silent = [p for p in probes if not p.answers_direct_queries]
+        # §4.3.2: some hijacking public servers refuse direct queries.
+        assert all(p.owner.startswith("Unknown") for p in silent)
+
+    def test_google_dns_residue_is_isp_paths_and_software(
+        self, dns_dataset, small_world, thresholds
+    ):
+        rows, victims = google_dns_hijack_urls(dns_dataset, small_world.orgmap, thresholds)
+        assert victims > 0
+        fraction = victims / dns_dataset.node_count
+        assert fraction == pytest.approx(0.0012, abs=0.002)  # paper: 0.12%
+        paper_domains = {domain for domain, _n, _a, _c in paper.TABLE5}
+        for row in rows:
+            if row.domain in paper_domains:
+                expected = next(c for d, _n, _a, c in paper.TABLE5 if d == row.domain)
+                assert row.category == expected, row.domain
+
+
+class TestHttpIntegration:
+    def test_mobile_transcoders_dominate_table7(self, http_dataset, small_world, thresholds):
+        rows = table7_image_compression(
+            http_dataset, small_world.corpus, small_world.orgmap, thresholds
+        )
+        assert rows
+        paper_asns = {asn for asn, *_rest in paper.TABLE7}
+        measured_asns = {row.asn for row in rows}
+        assert measured_asns <= paper_asns  # only planted mobile ASes compress
+        assert len(measured_asns) >= 7
+
+    def test_compression_ratios_match_paper(self, http_dataset, small_world, thresholds):
+        rows = table7_image_compression(
+            http_dataset, small_world.corpus, small_world.orgmap, thresholds
+        )
+        expected = {asn: cmps for asn, _i, _c, _m, _t, _r, cmps in paper.TABLE7}
+        for row in rows:
+            for ratio in row.compression_ratios:
+                assert any(
+                    abs(ratio - target) < 0.04 for target in expected[row.asn]
+                ), (row.asn, ratio)
+
+    def test_js_injection_markers(self, http_dataset, small_world, thresholds):
+        analysis = table6_js_injection(http_dataset, small_world.corpus, thresholds)
+        markers = {row.marker for row in analysis.rows}
+        # The two global heavyweights should surface even at 1% scale.
+        assert "d36mw5gp02ykm5.cloudfront.net" in markers or "msmdzbsyrw.org" in markers
+        assert analysis.identified_nodes >= 0.7 * analysis.injected_nodes
+
+    def test_js_css_failures_are_error_pages(self, http_dataset, small_world):
+        corpus = small_world.corpus
+        for record in http_dataset.records:
+            if record.modified(ObjectKind.JS):
+                body = record.modified_bodies[ObjectKind.JS]
+                assert b"Bad Gateway" in body or body == b""
+            if record.modified(ObjectKind.CSS):
+                body = record.modified_bodies[ObjectKind.CSS]
+                assert body == b"" or b"Bad Gateway" in body
+
+
+class TestHttpsIntegration:
+    def test_replaced_fraction(self, https_dataset):
+        fraction = https_dataset.replaced_count / https_dataset.node_count
+        assert 0.002 <= fraction <= 0.012  # paper: ~0.56%
+
+    def test_issuer_ordering_matches_paper(self, https_dataset, thresholds):
+        analysis = table8_issuers(https_dataset, thresholds)
+        measured = [row.issuer for row in analysis.rows]
+        paper_order = [issuer for issuer, _n, _t in paper.TABLE8]
+        assert measured[0] == "Avast"
+        # AVG/BitDefender/Eset are near-ties in the paper (247/241/217) and
+        # may swap at small scale; they must still fill the next ranks.
+        assert set(measured[1:4]) <= set(paper_order[1:6])
+
+    def test_issuer_types(self, https_dataset, thresholds):
+        analysis = table8_issuers(https_dataset, thresholds)
+        types = {row.issuer: row.type for row in analysis.rows}
+        expected = {issuer: type_ for issuer, _n, type_ in paper.TABLE8}
+        for issuer, type_ in types.items():
+            if issuer in expected:
+                assert type_ == expected[issuer]
+
+    def test_selective_replacement_observed(self, https_dataset, thresholds):
+        analysis = table8_issuers(https_dataset, thresholds)
+        assert "Avast" in analysis.selective  # "not every certificate is modified"
+
+    def test_cloudguard_nodes_in_russia(self, https_dataset, small_world):
+        for record in https_dataset.records:
+            groups = {site.issuer_cn for site in record.replaced_sites()}
+            if any("cloudguard" in cn.lower() for cn in groups):
+                assert record.country == "RU"
+
+
+class TestMonitoringIntegration:
+    def test_monitored_fraction(self, monitoring_dataset):
+        fraction = monitoring_dataset.monitored_count / monitoring_dataset.node_count
+        assert 0.008 <= fraction <= 0.03  # paper: 1.5%
+
+    def test_entity_ordering(self, monitoring_dataset, small_world, thresholds):
+        analysis = table9_monitoring(monitoring_dataset, small_world.orgmap, thresholds)
+        top = [row.entity for row in analysis.rows[:3]]
+        assert top[0] == "Trend Micro Inc."
+        assert "TalkTalk" in top
+
+    def test_trendmicro_country_restriction(self, monitoring_dataset, small_world, thresholds):
+        analysis = table9_monitoring(monitoring_dataset, small_world.orgmap, thresholds)
+        row = next(r for r in analysis.rows if r.entity == "Trend Micro Inc.")
+        assert row.countries <= 13
+
+    def test_figure5_signatures(self, monitoring_dataset, small_world, thresholds):
+        analysis = table9_monitoring(monitoring_dataset, small_world.orgmap, thresholds)
+        delays = analysis.delays
+
+        trend = delays["Trend Micro Inc."]
+        # Two requests per node: half before ~150 s, half after ~200 s.
+        assert cdf_at(trend, 150.0) == pytest.approx(0.5, abs=0.08)
+
+        anchorfree = delays.get("AnchorFree Inc.", [])
+        if anchorfree:
+            assert cdf_at(anchorfree, 1.0) > 0.95  # 99% within a second
+
+        bluecoat = delays.get("Blue Coat Systems", [])
+        if bluecoat:
+            negative = sum(1 for d in bluecoat if d < 0) / len(bluecoat)
+            assert negative == pytest.approx(0.415, abs=0.12)  # CDF starts ~41%
+
+        talktalk = delays.get("TalkTalk", [])
+        if talktalk:
+            assert cdf_at(talktalk, 31.0) == pytest.approx(0.5, abs=0.08)
+
+    def test_anchorfree_vpn_detected(self, monitoring_dataset, small_world):
+        vpn_records = [r for r in monitoring_dataset.records if r.vpn_detected]
+        by_zid = {host.zid: host for host in small_world.hosts}
+        for record in vpn_records:
+            assert by_zid[record.zid].vpn_egress_ips
+
+
+class TestTable2Shape:
+    def test_experiment_coverage_counts(
+        self, dns_dataset, http_dataset, https_dataset, monitoring_dataset, small_world
+    ):
+        total = small_world.truth.nodes_total
+        # DNS / HTTPS / monitoring crawls cover most of the network; the
+        # HTTP experiment's 3-per-AS sampling measures far fewer nodes.
+        for dataset in (dns_dataset, https_dataset, monitoring_dataset):
+            assert dataset.node_count > 0.6 * total
+        assert http_dataset.node_count < 0.5 * total
+        # Country coverage is broad for DNS/monitoring, narrower for HTTPS
+        # (Alexa-limited).
+        assert https_dataset.country_count() <= small_world.config.alexa_countries
+        assert dns_dataset.country_count() > https_dataset.country_count() * 0.8

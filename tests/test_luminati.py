@@ -1,0 +1,262 @@
+"""Tests for the Luminati service simulator (headers, sessions, selection,
+super proxy, client API)."""
+
+import random
+
+import pytest
+
+from repro.luminati.errors import NoPeersError, TunnelPortError
+from repro.luminati.headers import AttemptRecord, TimelineDebug
+from repro.luminati.registry import ExitNodeRegistry
+from repro.luminati.session import SESSION_WINDOW_SECONDS, SessionTable
+from repro.luminati.superproxy import (
+    ERROR_EXIT_DNS_NXDOMAIN,
+    ERROR_SUPERPROXY_DNS,
+    ProxyOptions,
+    split_http_url,
+)
+from repro.luminati.errors import BadRequestError
+from repro.net.clock import SimClock
+from repro.net.ip import ip_to_str
+from repro.sim.world import DNS_TEST_ZONE, PROBE_ZONE
+from repro.dnssim.resolver import GooglePublicDns
+
+
+class TestTimelineDebug:
+    def test_roundtrip(self):
+        debug = TimelineDebug(
+            zid="z00000001",
+            exit_ip="16.0.1.2",
+            attempts=(
+                AttemptRecord("z00000009", "offline"),
+                AttemptRecord("z00000001", "ok"),
+            ),
+        )
+        parsed = TimelineDebug.parse(debug.serialize())
+        assert parsed == debug
+        assert parsed.retried
+
+    def test_single_attempt_not_retried(self):
+        debug = TimelineDebug(zid="z1", exit_ip="1.2.3.4", attempts=(AttemptRecord("z1", "ok"),))
+        assert not debug.retried
+
+    @pytest.mark.parametrize("bad", ["", "zid=", "attempts=x", "zid=z1 weird=1", "ip=1.2.3.4"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            TimelineDebug.parse(bad)
+
+    def test_attempt_record_validation(self):
+        with pytest.raises(ValueError):
+            AttemptRecord("", "ok")
+        with pytest.raises(ValueError):
+            AttemptRecord("z1", "two words")
+
+
+class TestProxyOptions:
+    def test_username_parsing(self):
+        options = ProxyOptions.from_username(
+            "lum-customer-c_abc-zone-static-country-my-session-429-dns-remote"
+        )
+        assert options.country == "MY"
+        assert options.session == "429"
+        assert options.dns_remote
+
+    def test_plain_username(self):
+        options = ProxyOptions.from_username("lum-customer-c_abc-zone-static")
+        assert options == ProxyOptions()
+
+    def test_url_splitting(self):
+        assert split_http_url("http://a.example/x/y") == ("a.example", "/x/y")
+        assert split_http_url("http://A.EXAMPLE") == ("a.example", "/")
+        with pytest.raises(BadRequestError):
+            split_http_url("https://a.example/")
+        with pytest.raises(BadRequestError):
+            split_http_url("http:///nohost")
+
+
+class TestSessionTable:
+    def test_bind_and_lookup(self):
+        clock = SimClock()
+        table = SessionTable(clock)
+        table.bind("s1", "z1")
+        assert table.lookup("s1") == "z1"
+
+    def test_expiry_after_window(self):
+        clock = SimClock()
+        table = SessionTable(clock)
+        table.bind("s1", "z1")
+        clock.advance(SESSION_WINDOW_SECONDS + 1)
+        assert table.lookup("s1") is None
+        assert len(table) == 0  # lazily dropped
+
+    def test_touch_extends_window(self):
+        clock = SimClock()
+        table = SessionTable(clock)
+        table.bind("s1", "z1")
+        clock.advance(SESSION_WINDOW_SECONDS - 1)
+        table.touch("s1")
+        clock.advance(SESSION_WINDOW_SECONDS - 1)
+        assert table.lookup("s1") == "z1"
+
+    def test_drop(self):
+        table = SessionTable(SimClock())
+        table.bind("s1", "z1")
+        table.drop("s1")
+        assert table.lookup("s1") is None
+        table.drop("never-bound")  # no error
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SessionTable(SimClock(), window=0)
+
+
+class TestExitNodeRegistry:
+    def test_selection_honours_country(self, tiny_world):
+        registry = tiny_world.registry
+        rng = random.Random(1)
+        for _ in range(50):
+            assert registry.pick(rng, "US").country == "US"
+
+    def test_unknown_country_raises(self, tiny_world):
+        with pytest.raises(LookupError):
+            tiny_world.registry.pick(random.Random(1), "ZZ")
+
+    def test_global_pick_weighted_by_country(self, tiny_world):
+        registry = tiny_world.registry
+        rng = random.Random(2)
+        picks = [registry.pick(rng).country for _ in range(2000)]
+        counts = {cc: picks.count(cc) for cc in set(picks)}
+        reported = registry.countries()
+        # US is the biggest pool and should dominate proportionally.
+        assert counts["US"] > counts["GB"] > counts.get("TR", 0) * 0.4
+
+    def test_rotation_eventually_covers_pool(self, tiny_world):
+        registry = tiny_world.registry
+        rng = random.Random(3)
+        total_gb = registry.countries()["GB"]
+        seen = set()
+        for _ in range(total_gb * 4):
+            seen.add(registry.pick(rng, "GB").zid)
+        assert len(seen) > total_gb * 0.95
+
+    def test_duplicate_zid_rejected(self, tiny_world):
+        registry = tiny_world.registry
+        host = tiny_world.hosts[0]
+        with pytest.raises(ValueError):
+            registry.add(host, "US")
+
+    def test_reported_counts_match_population(self, tiny_world):
+        reported = tiny_world.registry.countries()
+        assert sum(reported.values()) == len(tiny_world.hosts)
+
+    def test_flakiness_dampening(self, tiny_world):
+        registry = tiny_world.registry
+        node = registry.by_zid(tiny_world.hosts[0].zid)
+        rng = random.Random(4)
+        raw = sum(registry.is_offline(node, rng) for _ in range(4000)) / 4000
+        rng = random.Random(4)
+        damped = sum(registry.is_offline(node, rng, dampen=0.1) for _ in range(4000)) / 4000
+        assert damped < raw or raw == 0
+
+
+class TestSuperProxy:
+    def test_basic_request_returns_debug_header(self, tiny_world):
+        result = tiny_world.client.request(f"http://objects.{PROBE_ZONE}/objects/page.html")
+        assert result.success
+        assert result.debug is not None
+        header = result.header("X-Hola-Timeline-Debug")
+        assert header is not None
+        assert TimelineDebug.parse(header).zid == result.debug.zid
+
+    def test_nonexistent_domain_rejected_at_superproxy(self, tiny_world):
+        result = tiny_world.client.request("http://no-such-name.nowhere.example/")
+        assert not result.success
+        assert result.error == ERROR_SUPERPROXY_DNS
+        assert result.debug is None  # no exit node was contacted
+
+    def test_session_pins_node(self, tiny_world):
+        url = f"http://objects.{PROBE_ZONE}/"
+        first = tiny_world.client.request(url, session="pin-1")
+        second = tiny_world.client.request(url, session="pin-1")
+        assert first.debug.zid == second.debug.zid
+
+    def test_different_sessions_rotate_nodes(self, tiny_world):
+        url = f"http://objects.{PROBE_ZONE}/"
+        zids = {
+            tiny_world.client.request(url, session=f"rot-{i}").debug.zid
+            for i in range(25)
+            if tiny_world.client.request(url, session=f"rot-{i}").success
+        }
+        assert len(zids) > 5
+
+    def test_country_parameter_respected(self, tiny_world):
+        url = f"http://objects.{PROBE_ZONE}/"
+        for _ in range(10):
+            result = tiny_world.client.request(url, country="TR")
+            if not result.success:
+                continue
+            node = tiny_world.registry.by_zid(result.debug.zid)
+            assert node.country == "TR"
+
+    def test_dns_remote_nxdomain_reported(self, tiny_world):
+        # A name only registered conditionally: exit-node resolvers get
+        # NXDOMAIN while the super proxy's Google egress gets an answer.
+        name = f"pin-test-cond.{DNS_TEST_ZONE}"
+        tiny_world.auth_dns.register_a(
+            name,
+            tiny_world.measurement_server_ip,
+            allow_source=GooglePublicDns.is_superproxy_egress,
+        )
+        result = tiny_world.client.request(f"http://{name}/", dns_remote=True)
+        assert result.is_nxdomain
+        assert result.error == ERROR_EXIT_DNS_NXDOMAIN
+        assert result.debug is not None  # we know which node saw it
+
+    def test_exit_ip_matches_registry(self, tiny_world):
+        result = tiny_world.client.request(f"http://objects.{PROBE_ZONE}/")
+        node = tiny_world.registry.by_zid(result.debug.zid)
+        assert result.debug.exit_ip == ip_to_str(node.host.ip)
+
+    def test_request_counter_increments(self, tiny_world):
+        before = tiny_world.superproxy.requests_served
+        tiny_world.client.request(f"http://objects.{PROBE_ZONE}/")
+        assert tiny_world.superproxy.requests_served == before + 1
+
+
+class TestTunnels:
+    def test_connect_restricted_to_443(self, tiny_world):
+        site = tiny_world.invalid_sites[0]
+        with pytest.raises(TunnelPortError):
+            tiny_world.client.connect(site.ip, port=80)
+
+    def test_handshake_returns_chain(self, tiny_world):
+        site = tiny_world.invalid_sites[0]
+        tunnel = tiny_world.client.connect(site.ip)
+        chain = tunnel.tls_handshake(site.domain)
+        assert chain.leaf.subject_cn  # some certificate came back
+        tunnel.close()
+        with pytest.raises(ConnectionError):
+            tunnel.tls_handshake(site.domain)
+
+    def test_tunnel_session_pinning(self, tiny_world):
+        site = tiny_world.invalid_sites[0]
+        t1 = tiny_world.client.connect(site.ip, session="tun-1")
+        t2 = tiny_world.client.connect(site.ip, session="tun-1")
+        assert t1.zid == t2.zid
+
+    def test_connect_unknown_country_raises_no_peers(self, tiny_world):
+        site = tiny_world.invalid_sites[0]
+        with pytest.raises(NoPeersError):
+            tiny_world.client.connect(site.ip, country="ZZ")
+
+    def test_request_as_username_api(self, tiny_world):
+        result = tiny_world.client.request_as(
+            "lum-customer-x-country-us", f"http://objects.{PROBE_ZONE}/"
+        )
+        assert result.success
+        node = tiny_world.registry.by_zid(result.debug.zid)
+        assert node.country == "US"
+
+    def test_reported_countries(self, tiny_world):
+        reported = tiny_world.client.reported_countries()
+        assert set(reported) == {"US", "GB", "TR"}

@@ -1,0 +1,384 @@
+"""Tests for the violation actors (repro.middlebox)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnssim.hijack import HijackPolicy
+from repro.dnssim.message import DnsResponse
+from repro.fabric import Internet
+from repro.middlebox.base import stable_choice, stable_fraction
+from repro.middlebox.dns_rewrite import HostDnsRewriter, TransparentDnsProxy
+from repro.middlebox.droppers import ResponseDropper
+from repro.middlebox.injectors import IspWebFilter, JsInjector, PolicyBlocker
+from repro.middlebox.monitor import ContentMonitor, DelayModel, DelaySpec
+from repro.middlebox.tls_mitm import MitmBehavior, TlsMitmProduct
+from repro.middlebox.transcoder import ImageTranscoder
+from repro.tlssim.certs import CertificateAuthority, CertificateChain, self_signed_certificate
+from repro.tlssim.rootstore import build_osx_root_store
+from repro.tlssim.validation import validate_chain
+from repro.web.content import make_html
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.jpeg import decode_jpeg, is_jpeg, make_jpeg
+from repro.web.server import MeasurementWebServer, is_block_page
+
+POLICY = HijackPolicy(operator="ISP", landing_domain="l.example", redirect_ip=77)
+
+
+def html_response(size=4096):
+    return HttpResponse.ok(make_html(size))
+
+
+def request(host="x.example"):
+    return HttpRequest(host=host, path="/", source_ip=1, time=0.0)
+
+
+class TestStableDraws:
+    def test_stable_fraction_deterministic(self):
+        assert stable_fraction("a", "b") == stable_fraction("a", "b")
+        assert 0.0 <= stable_fraction("a", "b") < 1.0
+
+    def test_stable_choice_deterministic(self):
+        options = ["x", "y", "z"]
+        assert stable_choice(options, "k") == stable_choice(options, "k")
+        with pytest.raises(ValueError):
+            stable_choice([], "k")
+
+    @given(st.text(max_size=20))
+    def test_stable_fraction_in_range(self, key):
+        assert 0.0 <= stable_fraction("t", key) < 1.0
+
+
+class TestDnsRewriters:
+    def test_transparent_proxy_rewrites_nxdomain(self):
+        proxy = TransparentDnsProxy(POLICY)
+        assert proxy.rewrite_dns("q", DnsResponse.nxdomain(), "z1").addresses == (77,)
+
+    def test_transparent_proxy_passes_answers(self):
+        proxy = TransparentDnsProxy(POLICY)
+        answer = DnsResponse.answer(5)
+        assert proxy.rewrite_dns("q", answer, "z1") is answer
+
+    def test_intercept_rate_stable_per_node(self):
+        proxy = TransparentDnsProxy(POLICY, intercept_rate=0.5)
+        zids = [f"z{i}" for i in range(400)]
+        first = [proxy.applies_to(z) for z in zids]
+        assert first == [proxy.applies_to(z) for z in zids]
+        assert 120 < sum(first) < 280
+
+    def test_intercept_rate_bounds(self):
+        with pytest.raises(ValueError):
+            TransparentDnsProxy(POLICY, intercept_rate=1.5)
+
+    def test_host_rewriter_always_rewrites(self):
+        rewriter = HostDnsRewriter(POLICY)
+        for zid in ("a", "b"):
+            assert rewriter.rewrite_dns("q", DnsResponse.nxdomain(), zid).addresses == (77,)
+
+
+class TestJsInjector:
+    def test_injects_before_body_close(self):
+        injector = JsInjector("fam", "cdn.evil.example", 5000)
+        modified = injector.modify_response(request(), html_response(), "z1")
+        assert b"cdn.evil.example" in modified.body
+        assert modified.body.index(b"cdn.evil.example") < modified.body.index(b"</body>")
+
+    def test_payload_inflates_page(self):
+        injector = JsInjector("fam", "cdn.evil.example", 20_000)
+        modified = injector.modify_response(request(), html_response(), "z1")
+        assert len(modified.body) - 4096 >= 15_000
+
+    def test_keyword_marker_inline(self):
+        injector = JsInjector("fam", "var oiasudoj;", 2000, marker_is_url=False)
+        modified = injector.modify_response(request(), html_response(), "z1")
+        assert b"var oiasudoj;" in modified.body
+        assert b'src="http://var' not in modified.body
+
+    def test_skips_small_objects(self):
+        injector = JsInjector("fam", "cdn.evil.example", 5000)
+        small = HttpResponse.ok(b"<html><body>tiny</body></html>")
+        assert injector.modify_response(request(), small, "z1") is small
+
+    def test_skips_non_html(self):
+        injector = JsInjector("fam", "cdn.evil.example", 5000)
+        image = HttpResponse.ok(make_jpeg(4096), "image/jpeg")
+        assert injector.modify_response(request(), image, "z1") is image
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            JsInjector("fam", "m", -1)
+
+
+class TestIspWebFilter:
+    def test_inserts_meta_in_head(self):
+        web_filter = IspWebFilter("NetsparkQuiltingResult")
+        modified = web_filter.modify_response(request(), html_response(), "z1")
+        assert b'name="NetsparkQuiltingResult"' in modified.body
+        assert modified.body.index(b"NetsparkQuiltingResult") < modified.body.index(b"</head>")
+
+
+class TestPolicyBlocker:
+    def test_replaces_page(self):
+        blocker = PolicyBlocker("blocked")
+        modified = blocker.modify_response(request(), html_response(), "z1")
+        assert is_block_page(modified.body)
+
+    def test_block_rate_stable(self):
+        blocker = PolicyBlocker("bandwidth", block_rate=0.5)
+        outcomes = [
+            is_block_page(blocker.modify_response(request(), html_response(), f"z{i}").body)
+            for i in range(200)
+        ]
+        assert outcomes == [
+            is_block_page(blocker.modify_response(request(), html_response(), f"z{i}").body)
+            for i in range(200)
+        ]
+        assert 50 < sum(outcomes) < 150
+
+
+class TestResponseDropper:
+    def test_js_error_page(self):
+        dropper = ResponseDropper("javascript")
+        response = HttpResponse.ok(b"x" * 2048, "application/javascript")
+        modified = dropper.modify_response(request(), response, "z1")
+        assert b"Bad Gateway" in modified.body
+
+    def test_css_empty(self):
+        dropper = ResponseDropper("css", empty=True)
+        response = HttpResponse.ok(b"x" * 2048, "text/css")
+        assert dropper.modify_response(request(), response, "z1").body == b""
+
+    def test_other_types_untouched(self):
+        dropper = ResponseDropper("javascript")
+        response = HttpResponse.ok(b"x" * 2048, "text/html")
+        assert dropper.modify_response(request(), response, "z1") is response
+
+
+class TestImageTranscoder:
+    def jpeg_response(self):
+        return HttpResponse.ok(make_jpeg(39 * 1024, quality=95), "image/jpeg")
+
+    def test_compresses_to_assigned_ratio(self):
+        transcoder = ImageTranscoder("MobileISP", (0.5,))
+        modified = transcoder.modify_response(request(), self.jpeg_response(), "z1")
+        assert is_jpeg(modified.body)
+        assert abs(len(modified.body) / (39 * 1024) - 0.5) < 0.01
+
+    def test_ratio_stable_per_node_with_multiple_levels(self):
+        transcoder = ImageTranscoder("MobileISP", (0.4, 0.6))
+        ratios = {transcoder.ratio_for(f"z{i}") for i in range(50)}
+        assert ratios == {0.4, 0.6}
+        assert transcoder.ratio_for("z1") == transcoder.ratio_for("z1")
+
+    def test_affected_fraction(self):
+        transcoder = ImageTranscoder("MobileISP", (0.5,), affected_fraction=0.3)
+        affected = sum(transcoder.applies_to(f"z{i}") for i in range(500))
+        assert 90 < affected < 220
+
+    def test_untouched_nodes_get_original(self):
+        transcoder = ImageTranscoder("MobileISP", (0.5,), affected_fraction=0.0)
+        response = self.jpeg_response()
+        assert transcoder.modify_response(request(), response, "z1") is response
+
+    def test_non_jpeg_untouched(self):
+        transcoder = ImageTranscoder("MobileISP", (0.5,))
+        response = html_response()
+        assert transcoder.modify_response(request(), response, "z1") is response
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ImageTranscoder("x", ())
+        with pytest.raises(ValueError):
+            ImageTranscoder("x", (1.5,))
+        with pytest.raises(ValueError):
+            ImageTranscoder("x", (0.5,), affected_fraction=2.0)
+
+
+@pytest.fixture(scope="module")
+def mitm_env():
+    store, roots = build_osx_root_store(count=8)
+    intermediate = CertificateAuthority("Issuing", parent=roots[0])
+    valid_chain = intermediate.chain_for(intermediate.issue("site.example"))
+    invalid_chain = CertificateChain((self_signed_certificate("bad.example"),))
+    return store, valid_chain, invalid_chain
+
+
+class TestTlsMitm:
+    def product(self, store, **kwargs):
+        defaults = dict(product="TestAV", issuer_cn="TestAV Root")
+        defaults.update(kwargs)
+        return TlsMitmProduct(MitmBehavior(**defaults), store)
+
+    def test_spoofed_chain_fails_client_validation(self, mitm_env):
+        store, valid_chain, _invalid = mitm_env
+        product = self.product(store)
+        spoofed = product.intercept_chain("site.example", valid_chain, "z1", now=1000.0)
+        assert spoofed is not valid_chain
+        result = validate_chain(spoofed, "site.example", store, 1000.0)
+        assert not result.valid
+
+    def test_spoofed_leaf_matches_hostname(self, mitm_env):
+        store, valid_chain, _invalid = mitm_env
+        spoofed = self.product(store).intercept_chain("site.example", valid_chain, "z1", 1000.0)
+        assert spoofed.leaf.matches_hostname("site.example")
+        assert spoofed.leaf.issuer_cn == "TestAV Root"
+
+    def test_key_reuse_per_node(self, mitm_env):
+        store, valid_chain, _invalid = mitm_env
+        product = self.product(store, per_node_key=True)
+        a = product.intercept_chain("a.example", valid_chain, "z1", 1000.0)
+        b = product.intercept_chain("b.example", valid_chain, "z1", 1000.0)
+        c = product.intercept_chain("a.example", valid_chain, "z2", 1000.0)
+        assert a.leaf.public_key_id == b.leaf.public_key_id
+        assert a.leaf.public_key_id != c.leaf.public_key_id
+
+    def test_avast_style_fresh_keys(self, mitm_env):
+        store, valid_chain, _invalid = mitm_env
+        product = self.product(store, per_node_key=False)
+        a = product.intercept_chain("a.example", valid_chain, "z1", 1000.0)
+        b = product.intercept_chain("b.example", valid_chain, "z1", 1000.0)
+        assert a.leaf.public_key_id != b.leaf.public_key_id
+
+    def test_invalid_origin_gets_separate_issuer(self, mitm_env):
+        store, _valid, invalid_chain = mitm_env
+        product = self.product(store, invalid_issuer_cn="TestAV Untrusted Root")
+        spoofed = product.intercept_chain("bad.example", invalid_chain, "z1", 1000.0)
+        assert spoofed.leaf.issuer_cn == "TestAV Untrusted Root"
+
+    def test_invalid_origin_revalidated_same_issuer_by_default(self, mitm_env):
+        store, _valid, invalid_chain = mitm_env
+        product = self.product(store)
+        spoofed = product.intercept_chain("bad.example", invalid_chain, "z1", 1000.0)
+        assert spoofed.leaf.issuer_cn == "TestAV Root"
+
+    def test_opendns_skips_invalid_origins(self, mitm_env):
+        store, _valid, invalid_chain = mitm_env
+        product = self.product(store, only_valid_origins=True)
+        assert product.intercept_chain("bad.example", invalid_chain, "z1", 1000.0) is invalid_chain
+
+    def test_blocked_domains_scope(self, mitm_env):
+        store, valid_chain, _invalid = mitm_env
+        product = self.product(store, blocked_domains=frozenset({"blocked.example"}))
+        assert product.intercept_chain("site.example", valid_chain, "z1", 1000.0) is valid_chain
+        spoofed = product.intercept_chain("blocked.example", valid_chain, "z1", 1000.0)
+        assert spoofed is not valid_chain
+
+    def test_copy_origin_fields(self, mitm_env):
+        store, valid_chain, _invalid = mitm_env
+        product = self.product(store, copy_origin_fields=True)
+        spoofed = product.intercept_chain("site.example", valid_chain, "z1", 1000.0)
+        original = valid_chain.leaf
+        assert spoofed.leaf.subject_cn == original.subject_cn
+        assert spoofed.leaf.serial == original.serial
+        assert spoofed.leaf.not_after == original.not_after
+        assert spoofed.leaf.public_key_id != original.public_key_id
+
+    def test_selectivity_skips_some_sites(self, mitm_env):
+        store, valid_chain, _invalid = mitm_env
+        product = self.product(store, site_selectivity=0.5)
+        outcomes = [
+            product.intercept_chain(f"s{i}.example", valid_chain, "z1", 1000.0) is valid_chain
+            for i in range(100)
+        ]
+        assert 20 < sum(outcomes) < 80
+
+
+class TestContentMonitor:
+    def make_monitor(self, **kwargs):
+        defaults = dict(
+            entity="TestMon",
+            source_pools={"default": [9001, 9002]},
+            delay_model=DelayModel(requests=(DelaySpec("uniform", 10.0, 20.0),)),
+        )
+        defaults.update(kwargs)
+        return ContentMonitor(**defaults)
+
+    def make_internet(self):
+        internet = Internet()
+        server = MeasurementWebServer(ip=500, clock=internet.clock)
+        internet.register_web_server(500, server)
+        return internet, server
+
+    def test_refetch_appears_after_delay(self):
+        internet, server = self.make_internet()
+        monitor = self.make_monitor()
+        probe = request("m1.probe.example")
+        hold = monitor.observe_request(probe, 500, "z1", internet)
+        assert hold == 0.0
+        internet.http_fetch(500, probe)  # the node's own request
+        assert len(server.log.for_host("m1.probe.example")) == 1
+        internet.advance(25.0)
+        entries = server.log.for_host("m1.probe.example")
+        assert len(entries) == 2
+        refetch = entries[1]
+        assert refetch.source_ip in (9001, 9002)
+        assert 10.0 <= refetch.time <= 20.0
+        assert refetch.user_agent == "TestMon-scanner/1.0"
+
+    def test_monitor_rate_selects_stable_subset(self):
+        monitor = self.make_monitor(monitor_rate=0.4)
+        selected = [monitor.monitors_node(f"z{i}") for i in range(300)]
+        assert selected == [monitor.monitors_node(f"z{i}") for i in range(300)]
+        assert 70 < sum(selected) < 170
+
+    def test_prefetch_holds_request(self):
+        internet, server = self.make_internet()
+        monitor = self.make_monitor(
+            delay_model=DelayModel(
+                requests=(DelaySpec("uniform", 1.0, 2.0),),
+                prefetch_probability=1.0,
+                hold_range=(0.5, 1.5),
+            )
+        )
+        probe = request("m2.probe.example")
+        hold = monitor.observe_request(probe, 500, "z1", internet)
+        assert 0.5 <= hold <= 1.5
+        # The prefetch is already in the log, before the node's own request.
+        entries = server.log.for_host("m2.probe.example")
+        assert len(entries) == 1
+        assert entries[0].source_ip in (9001, 9002)
+
+    def test_second_request_from_fixed_pool(self):
+        internet, server = self.make_internet()
+        monitor = self.make_monitor(
+            source_pools={"default": [9001, 9002], "fixed": [9100]},
+            delay_model=DelayModel(
+                requests=(
+                    DelaySpec("uniform", 1.0, 2.0),
+                    DelaySpec("uniform", 3.0, 4.0, source_pool="fixed"),
+                )
+            ),
+        )
+        probe = request("m3.probe.example")
+        monitor.observe_request(probe, 500, "z1", internet)
+        internet.advance(10.0)
+        entries = server.log.for_host("m3.probe.example")
+        assert len(entries) == 2
+        assert entries[1].source_ip == 9100
+
+    def test_requires_default_pool(self):
+        with pytest.raises(ValueError):
+            ContentMonitor(
+                entity="x", source_pools={"other": [1]},
+                delay_model=DelayModel(requests=()),
+            )
+
+    def test_all_source_ips_deduplicated(self):
+        monitor = self.make_monitor(source_pools={"default": [1, 2], "fixed": [2, 3]})
+        assert monitor.all_source_ips == (1, 2, 3)
+
+
+class TestDelaySpec:
+    def test_distribution_validation(self):
+        with pytest.raises(ValueError):
+            DelaySpec("weird", 1.0, 2.0)
+        with pytest.raises(ValueError):
+            DelaySpec("loguniform", 0.0, 2.0)
+
+    @given(st.sampled_from(["uniform", "loguniform", "normal"]))
+    def test_samples_non_negative(self, distribution):
+        import random
+
+        spec = DelaySpec(distribution, 1.0, 10.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert spec.sample(rng) >= 0.05

@@ -1,0 +1,123 @@
+"""Tests for the RouteViews-style AS table and the CAIDA-style org map."""
+
+import pytest
+
+from repro.net.asn import RouteViewsTable
+from repro.net.ip import Prefix, str_to_ip
+from repro.net.orgmap import AsOrgMap
+
+
+class TestRouteViewsTable:
+    def test_register_and_lookup(self):
+        table = RouteViewsTable()
+        table.register(64500, "org-a")
+        table.announce(64500, Prefix.from_str("198.51.100.0/24"))
+        assert table.ip_to_asn(str_to_ip("198.51.100.10")) == 64500
+        assert table.ip_to_as(str_to_ip("198.51.100.10")).org_id == "org-a"
+
+    def test_unannounced_space_is_unmapped(self):
+        table = RouteViewsTable()
+        table.register(64500, "org-a")
+        assert table.ip_to_asn(str_to_ip("203.0.113.1")) is None
+
+    def test_more_specific_wins(self):
+        table = RouteViewsTable()
+        table.register(64500, "org-a")
+        table.register(64501, "org-b")
+        table.announce(64500, Prefix.from_str("10.0.0.0/8"))
+        table.announce(64501, Prefix.from_str("10.9.0.0/16"))
+        assert table.ip_to_asn(str_to_ip("10.9.1.1")) == 64501
+        assert table.ip_to_asn(str_to_ip("10.8.1.1")) == 64500
+
+    def test_register_idempotent_same_org(self):
+        table = RouteViewsTable()
+        first = table.register(64500, "org-a")
+        again = table.register(64500, "org-a")
+        assert first is again
+
+    def test_register_conflicting_org_rejected(self):
+        table = RouteViewsTable()
+        table.register(64500, "org-a")
+        with pytest.raises(ValueError):
+            table.register(64500, "org-b")
+
+    def test_announce_requires_registration(self):
+        table = RouteViewsTable()
+        with pytest.raises(KeyError):
+            table.announce(64500, Prefix.from_str("10.0.0.0/8"))
+
+    def test_multiple_prefixes_per_as(self):
+        table = RouteViewsTable()
+        table.register(64500, "org-a")
+        table.announce(64500, Prefix.from_str("10.0.0.0/16"))
+        table.announce(64500, Prefix.from_str("10.1.0.0/16"))
+        assert table.get(64500).address_count == 2 * 65536
+
+    def test_ip_to_prefix(self):
+        table = RouteViewsTable()
+        table.register(64500, "org-a")
+        table.announce(64500, Prefix.from_str("192.0.2.0/24"))
+        assert str(table.ip_to_prefix(str_to_ip("192.0.2.9"))) == "192.0.2.0/24"
+
+    def test_len_and_iter(self):
+        table = RouteViewsTable()
+        table.register(64500, "org-a")
+        table.register(64501, "org-a")
+        assert len(table) == 2
+        assert {asys.asn for asys in table} == {64500, 64501}
+
+
+class TestAsOrgMap:
+    def test_assignment_and_country(self):
+        orgs = AsOrgMap()
+        orgs.register("org-tmnet", "TMnet", "MY")
+        orgs.assign(4788, "org-tmnet")
+        assert orgs.asn_to_org(4788).name == "TMnet"
+        assert orgs.asn_to_country(4788) == "MY"
+
+    def test_one_org_many_asns(self):
+        orgs = AsOrgMap()
+        orgs.register("org-tt", "TalkTalk", "GB")
+        for asn in (43234, 13285, 9105):
+            orgs.assign(asn, "org-tt")
+        assert sorted(orgs.get("org-tt").asns) == [9105, 13285, 43234]
+        assert orgs.same_org(43234, 9105)
+
+    def test_asn_single_ownership(self):
+        orgs = AsOrgMap()
+        orgs.register("org-a", "A", "US")
+        orgs.register("org-b", "B", "US")
+        orgs.assign(1, "org-a")
+        with pytest.raises(ValueError):
+            orgs.assign(1, "org-b")
+
+    def test_assign_unknown_org_rejected(self):
+        orgs = AsOrgMap()
+        with pytest.raises(KeyError):
+            orgs.assign(1, "org-missing")
+
+    def test_unmapped_asn_returns_none(self):
+        orgs = AsOrgMap()
+        assert orgs.asn_to_org(99999) is None
+        assert orgs.asn_to_country(99999) is None
+
+    def test_register_conflicting_details_rejected(self):
+        orgs = AsOrgMap()
+        orgs.register("org-a", "A", "US")
+        with pytest.raises(ValueError):
+            orgs.register("org-a", "A-prime", "US")
+
+    def test_orgs_in_country(self):
+        orgs = AsOrgMap()
+        orgs.register("org-a", "A", "US")
+        orgs.register("org-b", "B", "GB")
+        orgs.register("org-c", "C", "US")
+        names = {org.name for org in orgs.orgs_in_country("US")}
+        assert names == {"A", "C"}
+
+    def test_same_org_false_for_unmapped(self):
+        orgs = AsOrgMap()
+        orgs.register("org-a", "A", "US")
+        orgs.assign(1, "org-a")
+        assert not orgs.same_org(1, 2)
+        assert not orgs.same_org(3, 4)

@@ -1,0 +1,141 @@
+"""Tests for the simulated clock/scheduler and the country registry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.clock import EventScheduler, SimClock
+from repro.net.geo import CountryRegistry
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_is_monotone(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)  # no-op, never goes backwards
+        assert clock.now == 10.0
+        clock.advance_to(20.0)
+        assert clock.now == 20.0
+
+
+class TestEventScheduler:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        scheduler = EventScheduler(clock)
+        fired = []
+        scheduler.schedule_at(3.0, lambda: fired.append("c"))
+        scheduler.schedule_at(1.0, lambda: fired.append("a"))
+        scheduler.schedule_at(2.0, lambda: fired.append("b"))
+        assert scheduler.run_until(10.0) == 3
+        assert fired == ["a", "b", "c"]
+        assert clock.now == 10.0
+
+    def test_ties_break_by_schedule_order(self):
+        scheduler = EventScheduler(SimClock())
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append("first"))
+        scheduler.schedule_at(1.0, lambda: fired.append("second"))
+        scheduler.run_until(1.0)
+        assert fired == ["first", "second"]
+
+    def test_future_events_stay_pending(self):
+        scheduler = EventScheduler(SimClock())
+        scheduler.schedule_in(100.0, lambda: None)
+        assert scheduler.run_for(50.0) == 0
+        assert scheduler.pending == 1
+
+    def test_callback_can_schedule_within_window(self):
+        scheduler = EventScheduler(SimClock())
+        fired = []
+
+        def chain():
+            fired.append("one")
+            scheduler.schedule_in(1.0, lambda: fired.append("two"))
+
+        scheduler.schedule_at(1.0, chain)
+        scheduler.run_until(5.0)
+        assert fired == ["one", "two"]
+
+    def test_clock_advances_to_event_times(self):
+        clock = SimClock()
+        scheduler = EventScheduler(clock)
+        seen = []
+        scheduler.schedule_at(2.5, lambda: seen.append(clock.now))
+        scheduler.run_until(10.0)
+        assert seen == [2.5]
+
+    def test_schedule_in_past_rejected(self):
+        clock = SimClock(100.0)
+        scheduler = EventScheduler(clock)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(50.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_in(-1.0, lambda: None)
+
+    def test_drain_fires_everything(self):
+        scheduler = EventScheduler(SimClock())
+        fired = []
+        for delay in (100.0, 10.0, 1000.0):
+            scheduler.schedule_in(delay, lambda d=delay: fired.append(d))
+        assert scheduler.drain() == 3
+        assert fired == [10.0, 100.0, 1000.0]
+        assert scheduler.pending == 0
+
+    def test_fired_counter(self):
+        scheduler = EventScheduler(SimClock())
+        scheduler.schedule_in(1.0, lambda: None)
+        scheduler.schedule_in(2.0, lambda: None)
+        scheduler.run_until(1.5)
+        assert scheduler.fired == 1
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_all_events_fire_exactly_once(self, delays):
+        scheduler = EventScheduler(SimClock())
+        fired = []
+        for delay in delays:
+            scheduler.schedule_in(delay, lambda d=delay: fired.append(d))
+        scheduler.run_until(2e6)
+        assert sorted(fired) == sorted(delays)
+
+
+class TestCountryRegistry:
+    def test_has_at_least_172_countries(self):
+        assert len(CountryRegistry()) >= 172
+
+    def test_paper_countries_present(self):
+        registry = CountryRegistry()
+        for code in ("MY", "ID", "CN", "GB", "DE", "US", "IN", "BR", "BJ", "JO"):
+            assert code in registry
+
+    def test_lookup(self):
+        registry = CountryRegistry()
+        assert registry.get("MY").name == "Malaysia"
+        with pytest.raises(KeyError):
+            registry.get("XX")
+
+    def test_codes_unique(self):
+        registry = CountryRegistry()
+        codes = registry.codes()
+        assert len(codes) == len(set(codes))
+
+    def test_regions_partition(self):
+        registry = CountryRegistry()
+        by_region = sum(
+            len(registry.in_region(region))
+            for region in ("americas", "europe", "asia", "africa", "middle-east", "oceania")
+        )
+        assert by_region == len(registry)
+
+    def test_duplicate_codes_rejected(self):
+        with pytest.raises(ValueError):
+            CountryRegistry((("US", "A", "americas"), ("US", "B", "americas")))

@@ -1,0 +1,215 @@
+"""Unit and property tests for IPv4 machinery (repro.net.ip)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import (
+    IpAllocator,
+    IpError,
+    MAX_IPV4,
+    Prefix,
+    PrefixTrie,
+    ip_to_str,
+    str_to_ip,
+)
+
+
+class TestAddressParsing:
+    def test_roundtrip_known_addresses(self):
+        for text in ("0.0.0.0", "8.8.8.8", "74.125.0.10", "255.255.255.255"):
+            assert ip_to_str(str_to_ip(text)) == text
+
+    def test_parse_octet_values(self):
+        assert str_to_ip("1.2.3.4") == (1 << 24) | (2 << 16) | (3 << 8) | 4
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "-1.0.0.0"]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(IpError):
+            str_to_ip(bad)
+
+    def test_render_rejects_out_of_range(self):
+        with pytest.raises(IpError):
+            ip_to_str(-1)
+        with pytest.raises(IpError):
+            ip_to_str(MAX_IPV4 + 1)
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_roundtrip_property(self, ip):
+        assert str_to_ip(ip_to_str(ip)) == ip
+
+
+class TestPrefix:
+    def test_from_str(self):
+        prefix = Prefix.from_str("192.0.2.0/24")
+        assert prefix.length == 24
+        assert prefix.size == 256
+        assert ip_to_str(prefix.first) == "192.0.2.0"
+        assert ip_to_str(prefix.last) == "192.0.2.255"
+
+    def test_contains_boundaries(self):
+        prefix = Prefix.from_str("10.0.0.0/8")
+        assert prefix.contains(str_to_ip("10.0.0.0"))
+        assert prefix.contains(str_to_ip("10.255.255.255"))
+        assert not prefix.contains(str_to_ip("11.0.0.0"))
+        assert not prefix.contains(str_to_ip("9.255.255.255"))
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(IpError):
+            Prefix(str_to_ip("192.0.2.1"), 24)
+
+    def test_length_bounds(self):
+        with pytest.raises(IpError):
+            Prefix(0, 33)
+        with pytest.raises(IpError):
+            Prefix(0, -1)
+
+    def test_zero_length_prefix_contains_everything(self):
+        everything = Prefix(0, 0)
+        assert everything.contains(0)
+        assert everything.contains(MAX_IPV4)
+        assert everything.size == 2**32
+
+    def test_contains_prefix(self):
+        outer = Prefix.from_str("10.0.0.0/8")
+        inner = Prefix.from_str("10.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_nth(self):
+        prefix = Prefix.from_str("192.0.2.0/30")
+        assert [prefix.nth(i) for i in range(4)] == list(prefix.addresses())
+        with pytest.raises(IpError):
+            prefix.nth(4)
+
+    def test_str_roundtrip(self):
+        assert str(Prefix.from_str("172.16.0.0/12")) == "172.16.0.0/12"
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_mask_has_length_leading_ones(self, length):
+        prefix = Prefix(0, length)
+        assert bin(prefix.mask()).count("1") == length
+
+
+class TestPrefixTrie:
+    def test_longest_prefix_match(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.from_str("10.0.0.0/8"), "coarse")
+        trie.insert(Prefix.from_str("10.1.0.0/16"), "fine")
+        assert trie.lookup(str_to_ip("10.1.2.3")) == "fine"
+        assert trie.lookup(str_to_ip("10.2.2.3")) == "coarse"
+        assert trie.lookup(str_to_ip("11.0.0.1")) is None
+
+    def test_overwrite_same_prefix(self):
+        trie = PrefixTrie()
+        prefix = Prefix.from_str("10.0.0.0/8")
+        trie.insert(prefix, "old")
+        trie.insert(prefix, "new")
+        assert trie.lookup(str_to_ip("10.0.0.1")) == "new"
+        assert len(trie) == 1
+
+    def test_lookup_prefix_returns_match(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.from_str("198.51.100.0/24"), 64500)
+        hit = trie.lookup_prefix(str_to_ip("198.51.100.77"))
+        assert hit is not None
+        prefix, value = hit
+        assert str(prefix) == "198.51.100.0/24"
+        assert value == 64500
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        trie.insert(Prefix.from_str("10.0.0.0/8"), "specific")
+        assert trie.lookup(str_to_ip("1.1.1.1")) == "default"
+        assert trie.lookup(str_to_ip("10.1.1.1")) == "specific"
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.from_str("8.8.8.8/32"), "dns")
+        assert trie.lookup(str_to_ip("8.8.8.8")) == "dns"
+        assert trie.lookup(str_to_ip("8.8.8.9")) is None
+
+    def test_items_roundtrip(self):
+        trie = PrefixTrie()
+        inserted = {
+            Prefix.from_str("10.0.0.0/8"): 1,
+            Prefix.from_str("10.1.0.0/16"): 2,
+            Prefix.from_str("192.0.2.0/24"): 3,
+        }
+        for prefix, value in inserted.items():
+            trie.insert(prefix, value)
+        assert dict(trie.items()) == inserted
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=MAX_IPV4),
+                st.integers(min_value=8, max_value=32),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=MAX_IPV4),
+    )
+    def test_lpm_matches_linear_scan(self, raw_prefixes, probe_ip):
+        """The trie's answer always equals a brute-force longest-match scan."""
+        trie = PrefixTrie()
+        prefixes = []
+        for base, length in raw_prefixes:
+            network = base & (Prefix(0, length).mask() if length else 0)
+            prefix = Prefix(network, length)
+            trie.insert(prefix, str(prefix))
+            prefixes.append(prefix)
+        expected = None
+        best_len = -1
+        for prefix in prefixes:
+            if prefix.contains(probe_ip) and prefix.length > best_len:
+                best_len = prefix.length
+                expected = str(prefix)
+        assert trie.lookup(probe_ip) == expected
+
+
+class TestIpAllocator:
+    def test_blocks_are_disjoint_and_aligned(self):
+        allocator = IpAllocator(Prefix.from_str("10.0.0.0/16"))
+        blocks = [allocator.allocate(24) for _ in range(4)]
+        for block in blocks:
+            assert block.network % block.size == 0
+        for a in blocks:
+            for b in blocks:
+                if a is not b:
+                    assert not a.contains_prefix(b)
+
+    def test_mixed_sizes_align(self):
+        allocator = IpAllocator(Prefix.from_str("10.0.0.0/16"))
+        allocator.allocate(30)
+        big = allocator.allocate(24)
+        assert big.network % big.size == 0
+
+    def test_exhaustion_raises(self):
+        allocator = IpAllocator(Prefix.from_str("10.0.0.0/30"))
+        allocator.allocate(31)
+        allocator.allocate(31)
+        with pytest.raises(IpError):
+            allocator.allocate(32)
+
+    def test_cannot_allocate_bigger_than_pool(self):
+        allocator = IpAllocator(Prefix.from_str("10.0.0.0/24"))
+        with pytest.raises(IpError):
+            allocator.allocate(16)
+
+    def test_allocate_address_unique(self):
+        allocator = IpAllocator(Prefix.from_str("10.0.0.0/28"))
+        addresses = [allocator.allocate_address() for _ in range(16)]
+        assert len(set(addresses)) == 16
+        with pytest.raises(IpError):
+            allocator.allocate_address()
+
+    def test_remaining_decreases(self):
+        allocator = IpAllocator(Prefix.from_str("10.0.0.0/24"))
+        before = allocator.remaining
+        allocator.allocate(26)
+        assert allocator.remaining == before - 64

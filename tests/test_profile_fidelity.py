@@ -1,0 +1,174 @@
+"""Cross-checks: the planted profiles must agree with the paper constants.
+
+The profiles (what the world builder plants) and ``repro.core.paper`` (what
+the benchmarks compare against) encode the same published tables from two
+directions; these tests keep them from drifting apart.
+"""
+
+import pytest
+
+from repro.core import paper
+from repro.core.analysis import ISSUER_TYPES, issuer_group
+from repro.sim import profiles
+from repro.sim.profiles import NAMED_COUNTRIES
+
+
+def _named_isps():
+    for country in NAMED_COUNTRIES:
+        for isp in country.isps:
+            yield country, isp
+
+
+class TestTable4Fidelity:
+    def test_every_paper_isp_is_planted(self):
+        planted = {isp.name for _c, isp in _named_isps() if isp.resolver_hijack}
+        for _country, name, _servers, _nodes in paper.TABLE4:
+            assert name in planted, name
+
+    def test_planted_server_and_node_structure_matches(self):
+        by_name = {isp.name: (country, isp) for country, isp in _named_isps()}
+        for country_code, name, servers, nodes in paper.TABLE4:
+            country, isp = by_name[name]
+            assert country.code == country_code, name
+            assert isp.major_resolvers == servers, name
+            # Major-server node targets track the paper column (Uzone-style
+            # rounding aside).
+            assert isp.major_resolver_nodes == pytest.approx(nodes, rel=0.05), name
+
+    def test_table4_isps_hijack_above_the_cut(self):
+        paper_names = {name for _c, name, _s, _n in paper.TABLE4}
+        for _country, isp in _named_isps():
+            if isp.name in paper_names:
+                assert isp.resolver_hijack.rate >= 0.95, isp.name
+
+    def test_non_table4_hijackers_stay_below_the_cut(self):
+        paper_names = {name for _c, name, _s, _n in paper.TABLE4}
+        for _country, isp in _named_isps():
+            if isp.resolver_hijack and isp.name not in paper_names:
+                assert isp.resolver_hijack.rate < 0.9, isp.name
+        assert profiles.GENERIC_HIJACK_RATE < 0.85
+
+
+class TestTable5Fidelity:
+    def test_path_hijack_domains_match_paper(self):
+        planted = {
+            isp.path_hijack.landing_domain
+            for _c, isp in _named_isps()
+            if isp.path_hijack
+        }
+        paper_isp_domains = {d for d, _n, _a, cat in paper.TABLE5 if cat == "isp"}
+        assert planted <= paper_isp_domains
+        # Every high-count paper row is planted.
+        for domain, nodes, _ases, category in paper.TABLE5:
+            if category == "isp" and nodes >= 15:
+                assert domain in planted, domain
+
+    def test_software_rows_are_host_rewriters(self):
+        planted = {spec.landing_domain for spec in profiles.HOST_DNS_REWRITERS}
+        paper_software = {d for d, _n, _a, cat in paper.TABLE5 if cat == "software"}
+        assert planted == paper_software
+
+
+class TestTable6Fidelity:
+    def test_paper_markers_planted(self):
+        planted = {spec.marker for spec in profiles.JS_INJECTORS}
+        planted.add("NetsparkQuiltingResult")  # the web filter's meta tag
+        for marker, _nodes, _countries, _ases in paper.TABLE6:
+            assert marker in planted, marker
+
+    def test_injector_rates_ordered_like_paper_counts(self):
+        """Within the global (unrestricted) families, bigger paper counts
+        mean bigger planted rates."""
+        by_marker = {spec.marker: spec for spec in profiles.JS_INJECTORS}
+        cloudfront = by_marker["d36mw5gp02ykm5.cloudfront.net"]
+        assert all(
+            cloudfront.install_rate >= spec.install_rate
+            for spec in profiles.JS_INJECTORS
+            if spec.countries is None
+        )
+
+
+class TestTable7Fidelity:
+    def test_every_paper_as_planted_with_exact_parameters(self):
+        planted = {
+            isp.fixed_asn: isp for _c, isp in _named_isps() if isp.transcoder
+        }
+        for asn, _isp, country_code, modified, total, ratio, cmps in paper.TABLE7:
+            assert asn in planted, asn
+            spec = planted[asn]
+            assert spec.mobile
+            assert spec.transcoder.affected_fraction == pytest.approx(ratio, abs=0.01)
+            assert spec.transcoder.ratios == cmps
+            # Populations floor at (slightly above) the paper's measured count.
+            assert spec.population >= total
+
+
+class TestTable8Fidelity:
+    def test_products_and_types_match(self):
+        by_product = {spec.product: spec for spec in profiles.MITM_PRODUCTS}
+        for issuer, _nodes, type_ in paper.TABLE8:
+            assert issuer in by_product, issuer
+            assert by_product[issuer].category == type_, issuer
+            assert ISSUER_TYPES[issuer] == type_
+
+    def test_issuer_cns_group_back_to_their_product(self):
+        for spec in profiles.MITM_PRODUCTS:
+            assert issuer_group(spec.issuer_cn) == spec.product, spec.product
+            if spec.invalid_issuer_cn:
+                assert issuer_group(spec.invalid_issuer_cn) == spec.product
+
+    def test_install_rates_ordered_like_paper_counts(self):
+        ranked = [
+            spec for spec in profiles.MITM_PRODUCTS if spec.countries is None
+        ]
+        paper_rank = {issuer: nodes for issuer, nodes, _t in paper.TABLE8}
+        rates = [(paper_rank[s.product], s.install_rate) for s in ranked]
+        for (nodes_a, rate_a), (nodes_b, rate_b) in zip(rates, rates[1:]):
+            if nodes_a > nodes_b * 1.5:
+                assert rate_a > rate_b
+
+    def test_only_avast_mints_fresh_keys(self):
+        for spec in profiles.MITM_PRODUCTS:
+            assert spec.per_node_key == (spec.product != "Avast"), spec.product
+
+    def test_opendns_is_the_only_valid_origin_filter(self):
+        filters = [s.product for s in profiles.MITM_PRODUCTS if s.only_valid_origins]
+        assert filters == ["OpenDNS"]
+
+
+class TestTable9Fidelity:
+    def test_entities_and_ip_counts_match(self):
+        by_name = {spec.name: spec for spec in profiles.MONITOR_ENTITIES}
+        isp_monitors = {"TalkTalk", "Tiscali U.K."}
+        for entity, ips, _nodes, _ases, countries in paper.TABLE9:
+            if entity in isp_monitors:
+                continue  # attached via IspSpec, checked below
+            assert entity in by_name, entity
+            assert by_name[entity].ip_count == ips, entity
+            if entity == "Trend Micro":
+                assert len(by_name[entity].countries) == countries
+
+    def test_isp_monitors_attached_with_paper_rates(self):
+        monitors = {
+            isp.monitor: isp for _c, isp in _named_isps() if isp.monitor
+        }
+        assert monitors["TalkTalk"].monitor_rate == pytest.approx(0.452)
+        assert monitors["Tiscali U.K."].monitor_rate == pytest.approx(0.114)
+        assert monitors["TalkTalk"].monitor_ip_count == 6
+        assert monitors["Tiscali U.K."].monitor_ip_count == 2
+
+    def test_figure5_models_cover_all_entities(self):
+        names = {spec.name for spec in profiles.MONITOR_ENTITIES}
+        names |= set(profiles.ISP_MONITOR_MODELS)
+        for entity in paper.FIGURE5_PROPERTIES:
+            assert entity in names, entity
+
+
+class TestTable3Fidelity:
+    def test_named_country_populations_cover_paper_totals(self):
+        """Populations were sized as measured/0.85 (crawl coverage)."""
+        by_code = {spec.code: spec for spec in NAMED_COUNTRIES}
+        for code, _hijacked, total in paper.TABLE3:
+            spec = by_code[code]
+            assert spec.population >= total, code
+            assert spec.population <= total * 1.35, code

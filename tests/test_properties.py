@@ -1,0 +1,156 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each property pins an invariant the pipeline silently depends on: header
+round-trips, allocator disjointness, diff extraction, CDF monotonicity,
+stable per-node draws, session expiry.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import injected_fragment, injection_signature
+from repro.core.reports import render_table, within_factor
+from repro.luminati.headers import AttemptRecord, TimelineDebug
+from repro.luminati.session import SessionTable
+from repro.middlebox.base import stable_fraction
+from repro.net.clock import SimClock
+from repro.net.ip import IpAllocator, IpError, MAX_IPV4, Prefix
+from repro.web.content import make_html
+
+zid_text = st.text(
+    alphabet=st.characters(min_codepoint=48, max_codepoint=122), min_size=1, max_size=12
+).filter(lambda s: " " not in s and "," not in s and ":" not in s and "=" not in s)
+
+
+class TestHeaderRoundtrip:
+    @given(
+        zid=zid_text,
+        ip=st.tuples(*([st.integers(0, 255)] * 4)).map(lambda t: ".".join(map(str, t))),
+        outcomes=st.lists(
+            st.tuples(zid_text, st.sampled_from(["ok", "offline", "connect_failed"])),
+            max_size=5,
+        ),
+    )
+    def test_serialize_parse_identity(self, zid, ip, outcomes):
+        debug = TimelineDebug(
+            zid=zid,
+            exit_ip=ip,
+            attempts=tuple(AttemptRecord(z, o) for z, o in outcomes),
+        )
+        assert TimelineDebug.parse(debug.serialize()) == debug
+
+
+class TestAllocatorProperties:
+    @given(
+        lengths=st.lists(st.integers(min_value=20, max_value=30), min_size=1, max_size=30)
+    )
+    def test_allocations_always_disjoint_and_contained(self, lengths):
+        allocator = IpAllocator(Prefix.from_str("10.0.0.0/12"))
+        blocks = []
+        for length in lengths:
+            try:
+                blocks.append(allocator.allocate(length))
+            except IpError:
+                break  # pool exhausted: acceptable, already-granted blocks stand
+        for block in blocks:
+            assert allocator.pool.contains_prefix(block)
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1:]:
+                assert a.last < b.first or b.last < a.first
+
+
+class TestInjectionDiffProperties:
+    ORIGINAL = make_html(4096)
+
+    @given(
+        payload=st.binary(min_size=1, max_size=200).filter(lambda b: b"<" not in b),
+        position=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=50)
+    def test_fragment_contains_spliced_payload(self, payload, position):
+        """Any single contiguous splice is recovered by the prefix/suffix diff."""
+        block = b"<ins>" + payload + b"</ins>"
+        cut = int(len(self.ORIGINAL) * position)
+        received = self.ORIGINAL[:cut] + block + self.ORIGINAL[cut:]
+        fragment = injected_fragment(self.ORIGINAL, received)
+        assert payload in fragment
+        # And the fragment is not much larger than what was injected.
+        assert len(fragment) <= len(block) + 64
+
+    @given(host=st.from_regex(r"[a-z]{3,10}\.(com|net|org)", fullmatch=True))
+    @settings(max_examples=30)
+    def test_url_markers_always_win(self, host):
+        block = f'<script src="http://{host}/x.js">var decoy;</script>'.encode()
+        anchor = self.ORIGINAL.rfind(b"</body>")
+        received = self.ORIGINAL[:anchor] + block + self.ORIGINAL[anchor:]
+        assert injection_signature(self.ORIGINAL, received).startswith(host)
+
+
+class TestStableDraws:
+    @given(st.text(max_size=16), st.text(max_size=16))
+    def test_fraction_depends_only_on_inputs(self, a, b):
+        assert stable_fraction(a, b) == stable_fraction(a, b)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20)
+    def test_fraction_thresholds_give_expected_rates(self, rate):
+        hits = sum(stable_fraction("rate-test", i) < rate for i in range(2_000))
+        assert within_factor(rate * 2_000, max(hits, 1), 1.35)
+
+
+class TestSessionProperties:
+    @given(
+        events=st.lists(
+            st.tuples(st.sampled_from(["bind", "advance", "lookup"]),
+                      st.integers(min_value=0, max_value=3),
+                      st.floats(min_value=0.0, max_value=50.0)),
+            max_size=40,
+        )
+    )
+    def test_lookup_never_returns_expired_binding(self, events):
+        clock = SimClock()
+        table = SessionTable(clock, window=60.0)
+        bound_at: dict[str, float] = {}
+        for action, key_index, amount in events:
+            key = f"s{key_index}"
+            if action == "bind":
+                table.bind(key, f"z{key_index}")
+                bound_at[key] = clock.now
+            elif action == "advance":
+                clock.advance(amount)
+            else:
+                result = table.lookup(key)
+                if result is not None:
+                    assert clock.now - bound_at[key] <= 60.0
+
+
+class TestRenderTableProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(st.text(max_size=12).filter(lambda s: "\n" not in s),
+                      st.integers(-10**6, 10**6)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_all_cells_present(self, rows):
+        text = render_table(("name", "value"), rows)
+        for name, value in rows:
+            assert str(value) in text
+
+
+class TestRegistryRotationProperty:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_rotation_covers_pool_within_budget(self, seed, tiny_world):
+        registry = tiny_world.registry
+        rng = random.Random(seed)
+        total = registry.countries()["TR"]
+        seen = set()
+        for _ in range(total * 6):
+            seen.add(registry.pick(rng, "TR").zid)
+            if len(seen) == total:
+                break
+        assert len(seen) >= total * 0.98

@@ -1,0 +1,97 @@
+"""Negative control: against a violation-free world every detector reads zero.
+
+A measurement pipeline that finds violations where none exist is worthless;
+this suite builds a sterile world (no host software, no hijacking public
+resolvers, no monitors, clean ISPs) and asserts every §4–§7 detector stays
+silent.
+"""
+
+import pytest
+
+from repro.core.analysis import (
+    AnalysisThresholds,
+    table6_js_injection,
+    table7_image_compression,
+    table8_issuers,
+    table9_monitoring,
+    table_http_proxies,
+)
+from repro.core.attribution import classify_dns_servers, google_dns_hijack_urls
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.core.experiments.https_mitm import HttpsMitmExperiment
+from repro.core.experiments.monitoring import MonitoringExperiment
+from repro.sim import WorldConfig, build_world
+from repro.sim.profiles import CountrySpec
+from repro.web.content import ObjectKind
+
+
+@pytest.fixture(scope="module")
+def sterile_world():
+    specs = (
+        CountrySpec(code="US", population=700),
+        CountrySpec(code="GB", population=500),
+        CountrySpec(code="JP", population=300),
+    )
+    config = WorldConfig(
+        scale=1.0, seed=71, sterile=True, include_rare_tail=False, alexa_countries=3
+    )
+    world = build_world(config, countries=specs)
+    assert world.truth.hijacked_nodes == 0
+    assert not world.truth.mitm_nodes
+    assert not world.truth.monitor_nodes
+    return world
+
+
+class TestSterileDns:
+    def test_zero_hijacking_detected(self, sterile_world):
+        dataset = DnsHijackExperiment(sterile_world, seed=801).run()
+        assert dataset.node_count > 1_000
+        assert dataset.hijacked_count == 0
+        rows, victims = google_dns_hijack_urls(dataset, sterile_world.orgmap)
+        assert victims == 0 and rows == []
+        thresholds = AnalysisThresholds()
+        classification = classify_dns_servers(
+            dataset, sterile_world.routeviews, sterile_world.orgmap, thresholds
+        )
+        assert classification.hijacking_isp_servers == []
+        assert classification.hijacking_public_servers == []
+
+
+class TestSterileHttp:
+    @pytest.fixture(scope="class")
+    def dataset(self, sterile_world):
+        return HttpModExperiment(sterile_world, seed=802).run()
+
+    def test_zero_modification(self, sterile_world, dataset):
+        for kind in ObjectKind:
+            assert dataset.modified_count(kind) == 0
+        assert dataset.flagged_ases == set()
+
+    def test_zero_analysis_rows(self, sterile_world, dataset):
+        thresholds = AnalysisThresholds(as_min_nodes=3)
+        assert table6_js_injection(dataset, sterile_world.corpus, thresholds).rows == []
+        assert table7_image_compression(
+            dataset, sterile_world.corpus, sterile_world.orgmap, thresholds
+        ) == []
+        assert table_http_proxies(dataset, sterile_world.orgmap, thresholds) == []
+
+
+class TestSterileHttps:
+    def test_zero_replacement(self, sterile_world):
+        dataset = HttpsMitmExperiment(sterile_world, seed=803).run()
+        assert dataset.node_count > 1_000
+        assert dataset.replaced_count == 0
+        analysis = table8_issuers(dataset, AnalysisThresholds())
+        assert analysis.rows == []
+        assert analysis.unique_issuer_cns == 0
+
+
+class TestSterileMonitoring:
+    def test_zero_unexpected_requests(self, sterile_world):
+        dataset = MonitoringExperiment(sterile_world, seed=804).run()
+        assert dataset.node_count > 1_000
+        assert dataset.monitored_count == 0
+        analysis = table9_monitoring(dataset, sterile_world.orgmap, AnalysisThresholds())
+        assert analysis.rows == []
+        assert analysis.unexpected_source_ips == 0

@@ -1,0 +1,48 @@
+"""Tests for the one-call study runner."""
+
+import pytest
+
+from repro.core.study import run_full_study
+from repro.sim import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def study():
+    world = build_world(WorldConfig(scale=0.005, seed=61, include_rare_tail=False))
+    return run_full_study(world=world, seed=2000)
+
+
+class TestRunFullStudy:
+    def test_all_datasets_populated(self, study):
+        for dataset in (study.dns, study.http, study.https, study.monitoring):
+            assert dataset.node_count > 0
+
+    def test_headline_comparisons_complete(self, study):
+        comparisons = study.headline_comparisons()
+        assert len(comparisons) == 4
+        for comparison in comparisons:
+            assert comparison.paper > 0
+            assert comparison.measured >= 0
+
+    def test_attribution_sums(self, study):
+        summary = study.attribution
+        assert summary.isp_dns + summary.public_dns + summary.other == summary.hijacked_total
+
+    def test_render_summary_contains_sections(self, study):
+        text = study.render_summary()
+        for needle in (
+            "Headlines", "Datasets (Table 2)", "Top hijacked countries",
+            "Certificate replacers", "Content monitors", "traffic:",
+        ):
+            assert needle in text
+
+    def test_ethics_clean(self, study):
+        assert study.world.client.ledger.violations() == []
+
+    def test_builds_world_when_none_given(self):
+        results = run_full_study(
+            config=WorldConfig(scale=0.003, seed=62, include_rare_tail=False),
+            seed=2100,
+        )
+        assert results.world.truth.nodes_total > 0
+        assert results.dns.node_count > 0

@@ -1,0 +1,152 @@
+"""Edge-case tests for the super proxy: retries, failures, literals, billing."""
+
+import pytest
+
+from repro.dnssim.authoritative import AuthoritativeServer, RecordPolicy
+from repro.dnssim.resolver import GooglePublicDns, RecursiveResolver
+from repro.fabric import Internet
+from repro.hosts import ExitNodeHost
+from repro.luminati.registry import ExitNodeRegistry
+from repro.luminati.superproxy import (
+    ERROR_NO_PEERS,
+    ProxyOptions,
+    SuperProxy,
+)
+from repro.net.ip import ip_to_str, str_to_ip
+from repro.web.content import ContentCorpus
+from repro.web.server import MeasurementWebServer
+
+
+@pytest.fixture()
+def rig():
+    """A hand-wired minimal Luminati rig with controllable flakiness."""
+    internet = Internet()
+    auth = AuthoritativeServer("rig.example", internet.clock)
+    internet.dns_root.register(auth)
+    web = MeasurementWebServer(ip=5_000, clock=internet.clock, corpus=ContentCorpus.build())
+    internet.register_web_server(5_000, web)
+    auth.register_a("site.rig.example", 5_000)
+
+    google = GooglePublicDns(
+        root=internet.dns_root,
+        clock=internet.clock,
+        egress_ips=[str_to_ip("173.194.10.1")],
+        superproxy_egress_ips=[str_to_ip("74.125.0.10")],
+    )
+    internet.register_resolver(google)
+
+    registry = ExitNodeRegistry(seed=5, repeat_fraction=0.0)
+
+    def add_node(zid: str, flakiness: float) -> ExitNodeHost:
+        resolver = RecursiveResolver(
+            service_ip=6_000 + len(registry), root=internet.dns_root, clock=internet.clock
+        )
+        internet.register_resolver(resolver)
+        host = ExitNodeHost(
+            zid=zid, ip=7_000 + len(registry), asn=64500,
+            resolver=resolver, internet=internet,
+        )
+        registry.add(host, "US", flakiness=flakiness)
+        return host
+
+    superproxy = SuperProxy(
+        ip=str_to_ip("16.0.0.1"), internet=internet, registry=registry,
+        google=google, seed=7, pacing_seconds=0.0,
+    )
+    return internet, web, registry, superproxy, add_node
+
+
+class TestRetries:
+    def test_no_peers_when_everyone_is_down(self, rig):
+        _internet, _web, _registry, superproxy, add_node = rig
+        for index in range(4):
+            add_node(f"dead-{index}", flakiness=0.999)
+        result = superproxy.handle_request(ProxyOptions(), "http://site.rig.example/")
+        assert result.error == ERROR_NO_PEERS
+        assert result.debug is not None
+        assert all(a.outcome == "offline" for a in result.debug.attempts)
+        assert 1 <= len(result.debug.attempts) <= 5
+
+    def test_retry_trail_records_failed_nodes(self, rig):
+        _internet, _web, _registry, superproxy, add_node = rig
+        add_node("flaky-a", flakiness=0.999)
+        add_node("flaky-b", flakiness=0.999)
+        add_node("solid", flakiness=0.0)
+        result = None
+        for _ in range(30):
+            result = superproxy.handle_request(ProxyOptions(), "http://site.rig.example/")
+            if result.success and result.debug.retried:
+                break
+        assert result is not None and result.success
+        assert result.debug.zid == "solid"
+        outcomes = [a.outcome for a in result.debug.attempts]
+        assert outcomes[-1] == "ok"
+        assert "offline" in outcomes[:-1]
+
+    def test_retries_do_not_reuse_a_failed_node(self, rig):
+        _internet, _web, _registry, superproxy, add_node = rig
+        add_node("only", flakiness=0.999)
+        result = superproxy.handle_request(ProxyOptions(), "http://site.rig.example/")
+        assert result.error == ERROR_NO_PEERS
+        zids = [a.zid for a in result.debug.attempts]
+        assert zids == ["only"]  # excluded after its failure, not re-tried
+
+
+class TestUrlHandling:
+    def test_ip_literal_skips_dns_precheck(self, rig):
+        internet, web, _registry, superproxy, add_node = rig
+        add_node("n1", flakiness=0.0)
+        result = superproxy.handle_request(
+            ProxyOptions(), f"http://{ip_to_str(web.ip)}/"
+        )
+        assert result.success
+        # No DNS query reached the authoritative server for a literal.
+        assert len(internet.dns_root.authoritative_for("rig.example").log) == 0
+
+    def test_path_preserved(self, rig):
+        _internet, web, _registry, superproxy, add_node = rig
+        add_node("n1", flakiness=0.0)
+        result = superproxy.handle_request(
+            ProxyOptions(), "http://site.rig.example/objects/page.html"
+        )
+        assert result.success
+        assert web.log.entries[-1].path == "/objects/page.html"
+
+
+class TestBillingIntegration:
+    def test_bytes_accounted_per_node(self, rig):
+        _internet, _web, _registry, superproxy, add_node = rig
+        add_node("n1", flakiness=0.0)
+        before = superproxy.ledger.total_bytes
+        result = superproxy.handle_request(
+            ProxyOptions(), "http://site.rig.example/objects/library.js"
+        )
+        assert result.success
+        transferred = superproxy.ledger.total_bytes - before
+        assert transferred == len(result.body) == 258 * 1024
+        assert superproxy.ledger.bytes_by_zid["n1"] >= transferred
+
+    def test_failed_requests_bill_nothing(self, rig):
+        _internet, _web, _registry, superproxy, add_node = rig
+        add_node("dead", flakiness=0.999)
+        superproxy.handle_request(ProxyOptions(), "http://site.rig.example/")
+        assert superproxy.ledger.total_bytes == 0
+
+
+class TestSessionEdgeCases:
+    def test_session_expires_after_window(self, rig):
+        internet, _web, _registry, superproxy, add_node = rig
+        add_node("a", flakiness=0.0)
+        add_node("b", flakiness=0.0)
+        first = superproxy.handle_request(
+            ProxyOptions(session="s1"), "http://site.rig.example/"
+        )
+        internet.advance(120.0)  # beyond the 60-second window
+        zids = set()
+        for _ in range(20):
+            result = superproxy.handle_request(
+                ProxyOptions(session=f"probe-{len(zids)}-{_}"), "http://site.rig.example/"
+            )
+            zids.add(result.debug.zid)
+        assert first.success
+        assert len(zids) == 2  # both nodes reachable: the pin did not persist

@@ -1,0 +1,228 @@
+"""Tests for the TLS substrate: certificates, validation, root store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tlssim.certs import (
+    Certificate,
+    CertificateAuthority,
+    CertificateChain,
+    KeyPair,
+    self_signed_certificate,
+    with_validity,
+)
+from repro.tlssim.handshake import RotatingTlsEndpoint, SniTlsEndpoint, StaticTlsEndpoint
+from repro.tlssim.rootstore import OSX_ROOT_COUNT, RootStore, build_osx_root_store
+from repro.tlssim.validation import ValidationError, validate_chain
+
+NOW = 1_000_000.0
+
+
+@pytest.fixture(scope="module")
+def pki():
+    store, roots = build_osx_root_store(count=10)
+    intermediate = CertificateAuthority("Test Issuing CA", parent=roots[0])
+    return store, roots, intermediate
+
+
+class TestKeyPair:
+    def test_deterministic_from_seed(self):
+        assert KeyPair.generate("a") == KeyPair.generate("a")
+        assert KeyPair.generate("a") != KeyPair.generate("b")
+
+
+class TestCertificates:
+    def test_ca_certificate_self_signed_at_root(self, pki):
+        _store, roots, _intermediate = pki
+        assert roots[0].certificate.is_self_signed
+        assert roots[0].certificate.is_ca
+
+    def test_intermediate_signed_by_root(self, pki):
+        _store, roots, intermediate = pki
+        cert = intermediate.certificate
+        assert cert.signer_key_id == roots[0].key.key_id
+        assert cert.issuer_cn == roots[0].common_name
+
+    def test_hostname_matching(self):
+        cert = self_signed_certificate("www.example.com")
+        assert cert.matches_hostname("www.example.com")
+        assert cert.matches_hostname("WWW.EXAMPLE.COM")
+        assert not cert.matches_hostname("example.com")
+
+    def test_wildcard_matching(self):
+        key = KeyPair.generate("w")
+        cert = Certificate(
+            subject_cn="*.example.com", issuer_cn="CA", public_key_id=key.key_id,
+            signer_key_id="other", not_before=0, not_after=NOW * 2, serial=1,
+        )
+        assert cert.matches_hostname("www.example.com")
+        assert not cert.matches_hostname("example.com")
+        assert not cert.matches_hostname("a.b.example.com")
+
+    def test_validity_window(self):
+        cert = self_signed_certificate("x", not_before=10.0, not_after=20.0)
+        assert not cert.valid_at(5.0)
+        assert cert.valid_at(15.0)
+        assert not cert.valid_at(25.0)
+
+    def test_fingerprint_sensitive_to_fields(self):
+        a = self_signed_certificate("x", seed="s")
+        b = with_validity(a, a.not_before, a.not_after + 1)
+        assert a.fingerprint() != b.fingerprint()
+        # Identical field values fingerprint identically...
+        assert a.fingerprint() == Certificate(
+            subject_cn=a.subject_cn, issuer_cn=a.issuer_cn,
+            public_key_id=a.public_key_id, signer_key_id=a.signer_key_id,
+            not_before=a.not_before, not_after=a.not_after, serial=a.serial,
+        ).fingerprint()
+        # ...but separately minted certificates differ (unique serials).
+        assert a.fingerprint() != self_signed_certificate("x", seed="s").fingerprint()
+
+    def test_chain_requires_leaf(self):
+        with pytest.raises(ValueError):
+            CertificateChain(())
+
+    def test_chain_replace_leaf(self, pki):
+        _store, _roots, intermediate = pki
+        chain = intermediate.chain_for(intermediate.issue("a.example"))
+        spoofed = intermediate.issue("a.example")
+        replaced = chain.replace_leaf(spoofed)
+        assert replaced.leaf is spoofed
+        assert replaced.certificates[1:] == chain.certificates[1:]
+        assert replaced.fingerprint() != chain.fingerprint()
+
+
+class TestRootStore:
+    def test_osx_store_size(self):
+        store, authorities = build_osx_root_store()
+        assert len(store) == OSX_ROOT_COUNT
+        assert len(authorities) == OSX_ROOT_COUNT
+
+    def test_rejects_non_ca(self):
+        store = RootStore()
+        with pytest.raises(ValueError):
+            store.add(self_signed_certificate("leaf"))
+
+    def test_rejects_non_self_signed(self, pki):
+        _store, _roots, intermediate = pki
+        store = RootStore()
+        with pytest.raises(ValueError):
+            store.add(intermediate.certificate)
+
+    def test_trusts_key_and_cert(self, pki):
+        store, roots, _intermediate = pki
+        assert store.trusts(roots[0].certificate)
+        assert store.trusts_key(roots[0].key.key_id)
+        assert not store.trusts_key("nonsense")
+
+
+class TestValidation:
+    def test_valid_chain_passes(self, pki):
+        store, _roots, intermediate = pki
+        chain = intermediate.chain_for(intermediate.issue("good.example"))
+        result = validate_chain(chain, "good.example", store, NOW)
+        assert result.valid
+        assert result.errors == ()
+
+    def test_hostname_mismatch(self, pki):
+        store, _roots, intermediate = pki
+        chain = intermediate.chain_for(intermediate.issue("good.example"))
+        result = validate_chain(chain, "other.example", store, NOW)
+        assert not result.valid
+        assert result.has(ValidationError.HOSTNAME_MISMATCH)
+
+    def test_expired_leaf(self, pki):
+        store, _roots, intermediate = pki
+        leaf = intermediate.issue("good.example", not_before=0.0, not_after=NOW - 1)
+        result = validate_chain(intermediate.chain_for(leaf), "good.example", store, NOW)
+        assert result.has(ValidationError.EXPIRED)
+
+    def test_self_signed_leaf(self, pki):
+        store, _roots, _intermediate = pki
+        chain = CertificateChain((self_signed_certificate("good.example"),))
+        result = validate_chain(chain, "good.example", store, NOW)
+        assert result.has(ValidationError.SELF_SIGNED)
+
+    def test_untrusted_private_root(self, pki):
+        store, _roots, _intermediate = pki
+        rogue_root = CertificateAuthority("AV Private Root")
+        chain = rogue_root.chain_for(rogue_root.issue("good.example"))
+        result = validate_chain(chain, "good.example", store, NOW)
+        assert result.has(ValidationError.UNTRUSTED_ROOT)
+        assert not result.valid
+
+    def test_broken_signature_linkage(self, pki):
+        store, roots, intermediate = pki
+        leaf = intermediate.issue("good.example")
+        # Present the leaf with the wrong issuing certificate.
+        wrong_chain = CertificateChain((leaf, roots[1].certificate))
+        result = validate_chain(wrong_chain, "good.example", store, NOW)
+        assert result.has(ValidationError.BAD_SIGNATURE)
+        assert result.has(ValidationError.BAD_ISSUER_NAME)
+
+    def test_non_ca_issuer_flagged(self, pki):
+        store, _roots, intermediate = pki
+        middle = intermediate.issue("middle.example")  # not a CA
+        key = KeyPair.generate("leafkey")
+        leaf = Certificate(
+            subject_cn="good.example", issuer_cn="middle.example",
+            public_key_id=key.key_id, signer_key_id=middle.public_key_id,
+            not_before=0.0, not_after=NOW * 2, serial=77,
+        )
+        chain = CertificateChain((leaf, middle) + intermediate.chain_for(middle).certificates[1:])
+        result = validate_chain(chain, "good.example", store, NOW)
+        assert result.has(ValidationError.NOT_A_CA)
+
+    def test_all_errors_collected(self, pki):
+        store, _roots, _intermediate = pki
+        expired_selfsigned = self_signed_certificate("x", not_before=0.0, not_after=1.0)
+        result = validate_chain(
+            CertificateChain((expired_selfsigned,)), "y.example", store, NOW
+        )
+        assert result.has(ValidationError.EXPIRED)
+        assert result.has(ValidationError.HOSTNAME_MISMATCH)
+        assert result.has(ValidationError.SELF_SIGNED)
+
+    @given(st.integers(min_value=0, max_value=9))
+    def test_any_osx_root_anchors_its_leaves(self, index):
+        store, roots = build_osx_root_store(count=10)
+        authority = roots[index]
+        chain = authority.chain_for(authority.issue("site.example"))
+        assert validate_chain(chain, "site.example", store, NOW).valid
+
+
+class TestEndpoints:
+    def test_static_endpoint_ignores_sni(self, pki):
+        _store, _roots, intermediate = pki
+        chain = intermediate.chain_for(intermediate.issue("a.example"))
+        endpoint = StaticTlsEndpoint(chain)
+        assert endpoint.certificate_chain("whatever.example") is chain
+
+    def test_rotating_endpoint_cycles_valid_chains(self, pki):
+        store, _roots, intermediate = pki
+        chain_a = intermediate.chain_for(intermediate.issue("cdn.example"))
+        chain_b = intermediate.chain_for(intermediate.issue("cdn.example"))
+        endpoint = RotatingTlsEndpoint([chain_a, chain_b])
+        first = endpoint.certificate_chain("cdn.example")
+        second = endpoint.certificate_chain("cdn.example")
+        third = endpoint.certificate_chain("cdn.example")
+        assert first is chain_a and second is chain_b and third is chain_a
+        # Exact match would scream "replacement"; validation stays green.
+        assert first.fingerprint() != second.fingerprint()
+        for chain in (first, second):
+            assert validate_chain(chain, "cdn.example", store, NOW).valid
+
+    def test_rotating_endpoint_requires_chains(self, pki):
+        with pytest.raises(ValueError):
+            RotatingTlsEndpoint([])
+
+    def test_sni_endpoint_selects_by_name(self, pki):
+        _store, _roots, intermediate = pki
+        chain_a = intermediate.chain_for(intermediate.issue("a.example"))
+        chain_b = intermediate.chain_for(intermediate.issue("b.example"))
+        endpoint = SniTlsEndpoint({"a.example": chain_a})
+        endpoint.add("b.example", chain_b)
+        assert endpoint.certificate_chain("A.EXAMPLE") is chain_a
+        assert endpoint.certificate_chain("b.example") is chain_b
+        with pytest.raises(KeyError):
+            endpoint.certificate_chain("c.example")

@@ -1,0 +1,41 @@
+"""Tests for the §4.3.1 shared-vendor-JavaScript clustering."""
+
+import pytest
+
+from repro.core.attribution import vendor_js_families
+from repro.core.experiments.dns_hijack import DnsHijackExperiment
+from repro.sim.profiles import VENDOR_JS_FAMILY
+
+
+@pytest.fixture(scope="module")
+def dns_run(small_world):
+    return DnsHijackExperiment(small_world, seed=601).run()
+
+
+class TestVendorFamilies:
+    def test_shared_package_found_across_isps(self, dns_run, small_world):
+        rows = vendor_js_families(dns_run, small_world.orgmap)
+        assert rows
+        top = rows[0]
+        assert top.family == VENDOR_JS_FAMILY
+        # The paper names five ISPs sharing the package: Cox, Oi Fixo,
+        # TalkTalk, BT Internet, Verizon.
+        expected = {"Cox Communications", "Oi Fixo", "TalkTalk", "BT Internet", "Verizon"}
+        assert set(top.isps) <= expected
+        assert len(top.isps) >= 4  # all large enough to be measured at 1%
+
+    def test_family_spans_countries(self, dns_run, small_world):
+        rows = vendor_js_families(dns_run, small_world.orgmap)
+        top = rows[0]
+        assert {"US", "GB", "BR"} <= set(top.countries)
+
+    def test_min_isps_filter(self, dns_run, small_world):
+        # Single-ISP pages (every other hijacker) never form a family row.
+        rows = vendor_js_families(dns_run, small_world.orgmap, min_isps=2)
+        for row in rows:
+            assert len(row.isps) >= 2
+
+    def test_clean_world_has_no_families(self, fresh_tiny_world):
+        dataset = DnsHijackExperiment(fresh_tiny_world, seed=602, max_probes=300).run()
+        rows = vendor_js_families(dataset, fresh_tiny_world.orgmap)
+        assert rows == []  # tiny world's single hijacker has no js_family

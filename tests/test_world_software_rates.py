@@ -1,0 +1,104 @@
+"""Statistical checks: planted software lands where and as often as specified."""
+
+import pytest
+
+from repro.core.reports import within_factor
+from repro.sim import profiles
+
+
+def hosts_with(world, key):
+    return [host for host in world.hosts if key in host.truth]
+
+
+class TestCountryRestrictions:
+    def test_cloudguard_only_in_russia(self, small_world):
+        for host in small_world.hosts:
+            if host.truth.get("mitm") == "Cloudguard.me":
+                assert host.truth["country"] == "RU"
+
+    def test_regional_injectors_stay_regional(self, small_world):
+        allowed = {
+            spec.family: set(spec.countries)
+            for spec in profiles.JS_INJECTORS
+            if spec.countries is not None
+        }
+        for host in small_world.hosts:
+            family = host.truth.get("injector")
+            if family in allowed:
+                assert host.truth["country"] in allowed[family], family
+
+    def test_trendmicro_only_in_its_countries(self, small_world):
+        spec = next(s for s in profiles.MONITOR_ENTITIES if s.name == "Trend Micro")
+        allowed = set(spec.countries)
+        for host in small_world.hosts:
+            if host.truth.get("monitor") == "Trend Micro":
+                assert host.truth["country"] in allowed
+
+    def test_isp_monitors_only_on_their_subscribers(self, small_world):
+        for host in small_world.hosts:
+            if host.truth.get("monitor") == "TalkTalk":
+                assert host.truth["isp"] in ("TalkTalk",) or "monitor" in host.truth
+
+    def test_cloudguard_hosts_also_inject(self, small_world):
+        infected = [
+            host for host in small_world.hosts
+            if host.truth.get("mitm") == "Cloudguard.me"
+        ]
+        for host in infected:
+            markers = {
+                getattr(mod, "marker", "") for mod in host.host_http_modifiers
+            }
+            assert any("cloudguard" in marker for marker in markers)
+
+
+class TestInstallRates:
+    def test_avast_rate_near_spec(self, small_world):
+        spec = next(s for s in profiles.MITM_PRODUCTS if s.product == "Avast")
+        count = small_world.truth.mitm_nodes["Avast"]
+        expected = spec.install_rate * small_world.truth.nodes_total
+        assert within_factor(expected, max(count, 1), 1.5)
+
+    def test_monitor_rates_near_spec(self, small_world):
+        total = small_world.truth.nodes_total
+        commtouch = small_world.truth.monitor_nodes["Commtouch"]
+        expected = 0.00154 * total
+        assert within_factor(expected, max(commtouch, 1), 1.8)
+
+    def test_vpn_egress_only_on_anchorfree(self, small_world):
+        for host in small_world.hosts:
+            if host.vpn_egress_ips:
+                assert host.truth.get("monitor") == "AnchorFree"
+
+    def test_external_dns_fraction_near_default(self, small_world):
+        truth = small_world.truth
+        fraction = truth.external_dns_nodes / truth.nodes_total
+        # Default 8% with a couple of outliers (OPT Benin at 99%).
+        assert 0.05 <= fraction <= 0.13
+
+    def test_google_share_of_external(self, small_world):
+        truth = small_world.truth
+        share = truth.google_dns_nodes / max(1, truth.external_dns_nodes)
+        assert share == pytest.approx(profiles.GOOGLE_EXTERNAL_SHARE, abs=0.08)
+
+
+class TestPathAttachments:
+    def test_transcoders_only_on_mobile_isps(self, small_world):
+        from repro.middlebox.transcoder import ImageTranscoder
+
+        mobile_asns = set(small_world.truth.transcoder_nodes)
+        for host in small_world.hosts:
+            has_transcoder = any(
+                isinstance(mod, ImageTranscoder) for mod in host.path_http_modifiers
+            )
+            assert has_transcoder == (host.asn in mobile_asns)
+
+    def test_transparent_dns_proxies_only_on_external_users(self, small_world):
+        for host in small_world.hosts[::37]:
+            if host.path_dns_rewriters:
+                assert host.truth["resolver_kind"] not in ("isp", "edge")
+
+    def test_path_monitor_subscribers_match_isp(self, small_world):
+        talktalk_monitor = small_world.monitors["TalkTalk"]
+        for host in small_world.hosts:
+            if talktalk_monitor in host.path_monitors:
+                assert host.truth["isp"] == "TalkTalk"
