@@ -1,14 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the full pipeline without writing any code:
+Four commands cover the full pipeline without writing any code:
 
 * ``world-info`` — build a world and summarize its population;
 * ``run`` — run one (or all) of the paper's four experiments, print the
   corresponding tables, and optionally save the dataset as JSON Lines;
-* ``report`` — re-print the tables for a previously saved dataset.
+* ``report`` — re-print the tables for a previously saved dataset;
+* ``lint`` — run the sterility/determinism static checker over the source
+  (see ``docs/static_analysis.md``); exits non-zero on new findings.
 
-Every command accepts ``--scale`` / ``--seed``; ``REPRO_SCALE`` is honoured
-when ``--scale`` is omitted.
+Every world-building command accepts ``--scale`` / ``--seed``;
+``REPRO_SCALE`` is honoured when ``--scale`` is omitted.
 """
 
 from __future__ import annotations
@@ -241,6 +243,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import LintConfig, LintEngine, load_baseline, write_baseline
+    from repro.lint.reporters import render_json, render_text
+
+    root = pathlib.Path(args.root).resolve()
+    paths = args.paths or ["src"]
+    engine = LintEngine(LintConfig.load(root))
+    if not engine.discover(paths, root):
+        print(
+            f"warning: no python files found under {', '.join(map(str, paths))} "
+            f"(root: {root})",
+            file=sys.stderr,
+        )
+    findings = engine.lint_paths(paths, root=root)
+
+    baseline_path = pathlib.Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    if args.write_baseline:
+        baseline = write_baseline(findings, baseline_path)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(baseline.entries)} entries; justify each before committing)"
+        )
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, suppressed, stale = baseline.split(findings)
+    # A subtree scan says nothing about entries for files it never visited.
+    from repro.lint.engine import scope_predicate
+
+    covers = scope_predicate(paths, root)
+    stale = [entry for entry in stale if covers(entry.path)]
+    render = render_json if args.format == "json" else render_text
+    sys.stdout.write(render(new, suppressed=suppressed, stale=stale))
+    return 1 if new or stale else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     loader, report = _LOADERS[args.experiment]
     dataset = loader(args.dataset)
@@ -275,6 +313,32 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--experiment", choices=EXPERIMENTS, required=True)
     report.add_argument("--dataset", required=True, help="JSONL file from `run --out`")
 
+    lint = sub.add_parser(
+        "lint", help="run the sterility/determinism static checker"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src, relative to --root)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="project root: finding paths are relative to it and its "
+        "pyproject.toml supplies [tool.repro-lint] config (default: cwd)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        help="baseline JSON of grandfathered findings "
+        "(default: <root>/lint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+
     return parser
 
 
@@ -285,6 +349,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "world-info": _cmd_world_info,
         "run": _cmd_run,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

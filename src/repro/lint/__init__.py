@@ -1,0 +1,45 @@
+"""Static sterility & determinism checker for the reproduction's own source.
+
+The simulation is only a valid stand-in for the paper's live measurement
+(§3: 1.2 M Luminati vantage points) because of two engineered invariants:
+
+* **Sterility** — no real sockets, DNS lookups, or TLS handshakes ever leave
+  the process.  Every "network" interaction happens inside the simulated
+  fabric, which is what makes the reproduction runnable offline and keeps it
+  on the right side of the ethics line the paper had to negotiate (§3.4).
+* **Determinism** — every stochastic choice flows through an explicitly
+  seeded :class:`random.Random`, and every timestamp through
+  :mod:`repro.net.clock`.  Same seed, same tables, same figures.
+
+Nothing in Python enforces either invariant; a single ``time.time()`` or a
+module-level ``random.choice()`` silently breaks reproducibility of every
+benchmark.  :mod:`repro.lint` is an AST-based static-analysis pass over the
+repository's own source that turns the invariants into a test-gated check:
+
+>>> from repro.lint import LintEngine
+>>> findings = LintEngine().lint_paths(["src"])   # doctest: +SKIP
+
+See ``docs/static_analysis.md`` for the rule catalogue and the baseline
+workflow, and ``repro lint --help`` for the CLI.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from repro.lint.config import LintConfig
+from repro.lint.engine import FileContext, Finding, LintEngine
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "get_rule",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

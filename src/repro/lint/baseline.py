@@ -1,0 +1,126 @@
+"""Grandfathered findings: the checked-in baseline file.
+
+A baseline entry suppresses every finding with the same
+``(rule, path, symbol)`` fingerprint and must carry a human-written
+justification — the self-lint test rejects empty ones.  Stale entries (no
+finding matches any more) are reported so the file can only shrink over
+time, never quietly rot.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One deliberately-exempted finding fingerprint."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Baseline:
+    """The set of grandfathered fingerprints plus split logic."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition findings into ``(new, suppressed)`` and list stale entries.
+
+        An entry may match any number of findings (for example both
+        ``time.perf_counter`` calls in one file); an entry matching none is
+        *stale* and should be deleted from the file.
+        """
+        known = {entry.fingerprint: entry for entry in self.entries}
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        matched: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            if finding.fingerprint in known:
+                suppressed.append(finding)
+                matched.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = [e for e in self.entries if e.fingerprint not in matched]
+        return new, suppressed, stale
+
+
+def load_baseline(path: str | pathlib.Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    baseline_path = pathlib.Path(path)
+    if not baseline_path.is_file():
+        return Baseline()
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {baseline_path}"
+        )
+    entries = tuple(
+        BaselineEntry(
+            rule=entry["rule"],
+            path=entry["path"],
+            symbol=entry["symbol"],
+            justification=entry.get("justification", ""),
+        )
+        for entry in data.get("entries", ())
+    )
+    return Baseline(entries=entries)
+
+
+def write_baseline(
+    findings: Iterable[Finding],
+    path: str | pathlib.Path,
+    justification: str = "TODO: justify or fix",
+) -> Baseline:
+    """Write a baseline covering ``findings`` (one entry per fingerprint).
+
+    Newly-written entries carry a placeholder justification; the self-lint
+    gate will refuse them until a human replaces the text, which is the
+    point — baselining is an explicit, reviewed act.
+    """
+    existing = load_baseline(path)
+    keep = {entry.fingerprint: entry for entry in existing.entries}
+    for finding in findings:
+        keep.setdefault(
+            finding.fingerprint,
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                symbol=finding.symbol,
+                justification=justification,
+            ),
+        )
+    entries = tuple(sorted(keep.values(), key=lambda e: e.fingerprint))
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.as_dict() for entry in entries],
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return Baseline(entries=entries)

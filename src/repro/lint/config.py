@@ -1,0 +1,100 @@
+"""Lint configuration: built-in defaults plus a ``pyproject.toml`` overlay.
+
+The defaults encode the repository's actual containment contract (simulated
+clock lives in ``net/clock.py``, the record modules that must stay frozen,
+…).  A ``[tool.repro-lint]`` table in ``pyproject.toml`` *extends* the
+defaults — it can add allowlist entries, record modules, and exclusions, but
+never silently remove the built-in ones.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import pathlib
+import tomllib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Paths (globs against posix relpaths) exempt from a rule by design.
+DEFAULT_ALLOW: Mapping[str, tuple[str, ...]] = {
+    # The simulated clock is the one module allowed to *define* time;
+    # it never reads the wall clock, but exempting it documents the contract.
+    "DET002": ("*/net/clock.py",),
+}
+
+#: Modules whose dataclasses are measurement records and must be frozen
+#: (SIM001).  Mutating a record after capture would let analysis rewrite
+#: history — the simulated equivalent of editing a pcap.
+DEFAULT_RECORD_MODULES: tuple[str, ...] = (
+    "*/dnssim/message.py",
+    "*/repro/tracing.py",
+    "*/luminati/headers.py",
+)
+
+#: Path globs never scanned at all.
+DEFAULT_EXCLUDE: tuple[str, ...] = (
+    "*.egg-info/*",
+    "*/.*/*",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """Immutable configuration consumed by :class:`repro.lint.LintEngine`."""
+
+    allow: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOW)
+    )
+    record_modules: tuple[str, ...] = DEFAULT_RECORD_MODULES
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE
+    select: tuple[str, ...] | None = None
+
+    @classmethod
+    def default(cls) -> "LintConfig":
+        """The built-in configuration, with no pyproject overlay."""
+        return cls()
+
+    @classmethod
+    def from_pyproject(cls, pyproject: str | pathlib.Path) -> "LintConfig":
+        """Defaults extended by the ``[tool.repro-lint]`` table, if present."""
+        path = pathlib.Path(pyproject)
+        with path.open("rb") as handle:
+            data = tomllib.load(handle)
+        table = data.get("tool", {}).get("repro-lint", {})
+        allow: dict[str, tuple[str, ...]] = {
+            rule: tuple(globs) for rule, globs in DEFAULT_ALLOW.items()
+        }
+        for rule, globs in table.get("allow", {}).items():
+            merged = dict.fromkeys(allow.get(rule, ()) + tuple(globs))
+            allow[rule] = tuple(merged)
+        record = tuple(
+            dict.fromkeys(DEFAULT_RECORD_MODULES + tuple(table.get("record-modules", ())))
+        )
+        exclude = tuple(
+            dict.fromkeys(DEFAULT_EXCLUDE + tuple(table.get("exclude", ())))
+        )
+        select = tuple(table["select"]) if "select" in table else None
+        return cls(allow=allow, record_modules=record, exclude=exclude, select=select)
+
+    @classmethod
+    def load(cls, root: str | pathlib.Path) -> "LintConfig":
+        """Config for a project rooted at ``root`` (walks up to a pyproject)."""
+        directory = pathlib.Path(root).resolve()
+        for candidate in (directory, *directory.parents):
+            pyproject = candidate / "pyproject.toml"
+            if pyproject.is_file():
+                return cls.from_pyproject(pyproject)
+        return cls.default()
+
+    def is_allowed(self, rule_id: str, relpath: str) -> bool:
+        """True when ``relpath`` is exempt from ``rule_id`` by configuration."""
+        return any(
+            fnmatch.fnmatch(relpath, pattern)
+            for pattern in self.allow.get(rule_id, ())
+        )
+
+    def is_record_module(self, relpath: str) -> bool:
+        """True when SIM001 applies to ``relpath``."""
+        return any(
+            fnmatch.fnmatch(relpath, pattern) for pattern in self.record_modules
+        )

@@ -1,0 +1,60 @@
+"""Machine-readable (JSON) and human-readable (text) finding reports.
+
+The JSON form is versioned and byte-stable for a given finding set (sorted
+keys, sorted findings, trailing newline) so downstream tooling can diff
+successive runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.baseline import BaselineEntry
+from repro.lint.engine import Finding
+
+REPORT_VERSION = 1
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    suppressed: Sequence[Finding] = (),
+    stale: Sequence[BaselineEntry] = (),
+) -> str:
+    """Stable JSON report: new findings plus baseline bookkeeping."""
+    payload = {
+        "version": REPORT_VERSION,
+        "count": len(findings),
+        "findings": [f.as_dict() for f in sorted(findings, key=lambda f: f.sort_key)],
+        "suppressed": len(suppressed),
+        "stale_baseline": [e.as_dict() for e in stale],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    suppressed: Sequence[Finding] = (),
+    stale: Sequence[BaselineEntry] = (),
+) -> str:
+    """``path:line:col RULE symbol — message`` lines plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col} {f.rule} [{f.symbol}] {f.message}"
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    if stale:
+        lines.append("")
+        lines.append("stale baseline entries (delete them):")
+        lines.extend(
+            f"  {e.rule} {e.path} [{e.symbol}]"
+            for e in sorted(stale, key=lambda e: e.fingerprint)
+        )
+    summary = f"{len(findings)} finding(s)"
+    if suppressed:
+        summary += f", {len(suppressed)} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,111 @@
+"""SAFE001/SAFE002 — failure modes that corrupt measurements silently.
+
+These are general Python hazards, but in a measurement codebase they have a
+specific cost: a mutable default accumulates state *across* experiments
+(cross-run contamination), and a bare ``except`` swallows the very middlebox
+misbehaviour the experiments exist to observe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, call_name
+
+#: Constructor names whose call-as-default shares one instance per function.
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "OrderedDict", "Counter", "deque",
+}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name is not None and name.split(".")[-1] in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaults(Rule):
+    """Forbid mutable default argument values."""
+
+    rule_id = "SAFE001"
+    title = "mutable default argument"
+    rationale = (
+        "A mutable default is created once and shared by every call — state "
+        "leaks across experiments and across worlds, breaking run isolation. "
+        "Default to None (or use dataclasses.field(default_factory=...))."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx, default, name,
+                        f"mutable default argument in '{name}' is shared "
+                        "across calls; use None and construct inside",
+                    )
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises (bare ``raise`` or raise-from)."""
+    return any(
+        isinstance(child, ast.Raise)
+        for stmt in handler.body
+        for child in ast.walk(stmt)
+    )
+
+
+def _overbroad_names(type_node: ast.AST | None) -> list[str]:
+    """Overbroad exception class names in an ``except`` clause."""
+    if type_node is None:
+        return []
+    candidates = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    names = []
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in ("Exception", "BaseException"):
+            names.append(candidate.id)
+    return names
+
+
+class BroadExcept(Rule):
+    """Forbid bare ``except:`` and non-re-raising ``except Exception:``."""
+
+    rule_id = "SAFE002"
+    title = "bare or overbroad except"
+    rationale = (
+        "A blanket handler swallows the anomalies the experiments exist to "
+        "measure (and KeyboardInterrupt).  Catch the specific simulated "
+        "error, or re-raise after cleanup."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node, "bare-except",
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; name the exception type",
+                )
+                continue
+            broad = _overbroad_names(node.type)
+            if broad and not _handler_reraises(node):
+                yield self.finding(
+                    ctx, node, f"except-{broad[0]}",
+                    f"'except {broad[0]}' without re-raise hides unexpected "
+                    "failures; catch the specific error or re-raise",
+                )

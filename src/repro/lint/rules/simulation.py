@@ -1,0 +1,65 @@
+"""SIM001 — wire-format and record dataclasses must be frozen.
+
+DNS messages, trace steps, and Luminati debug headers are the simulation's
+equivalent of captured packets: once "observed" by an experiment they are
+evidence, and evidence must be immutable.  A mutable record would let
+analysis code rewrite history after the fact — the same reason real
+measurement studies archive raw pcaps before touching them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, dotted_name
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> tuple[ast.AST, bool] | None:
+    """``(decorator, frozen)`` when the class is a dataclass, else ``None``."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is None or name.split(".")[-1] != "dataclass":
+            continue
+        frozen = False
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    frozen = True
+        return decorator, frozen
+    return None
+
+
+class FrozenRecords(Rule):
+    """Require ``frozen=True`` on dataclasses in designated record modules."""
+
+    rule_id = "SIM001"
+    title = "non-frozen dataclass in a record module"
+    rationale = (
+        "Messages, trace steps, and header records are captured evidence; "
+        "freezing them guarantees analysis can never mutate what an "
+        "experiment observed (and makes them hashable for dedup/joins)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.is_record_module(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _dataclass_decorator(node)
+            if info is None:
+                continue
+            _decorator, frozen = info
+            if not frozen:
+                yield self.finding(
+                    ctx, node, node.name,
+                    f"dataclass '{node.name}' in a record module must be "
+                    "frozen=True (records are immutable evidence)",
+                )

@@ -1,0 +1,83 @@
+"""STER001 — no real network or process I/O may enter the simulation.
+
+The reproduction's whole claim to validity (DESIGN.md) is that the Luminati
+ecosystem is simulated end to end: importing ``socket`` or ``requests``
+anywhere in ``src/`` would let a "measurement" touch the live Internet,
+which is exactly what the paper's ethics discussion (§3.4) engineers around
+and what an offline reproduction must make impossible, not just unlikely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule
+
+#: Module prefixes that perform (or trivially enable) real I/O.
+FORBIDDEN_MODULES: tuple[str, ...] = (
+    "socket",
+    "ssl",
+    "http.client",
+    "http.server",
+    "urllib.request",
+    "urllib.error",
+    "requests",
+    "subprocess",
+    "socketserver",
+    "ftplib",
+    "smtplib",
+    "telnetlib",
+)
+
+
+def _forbidden(module: str) -> str | None:
+    """The matching forbidden prefix, or ``None`` when the import is clean."""
+    for prefix in FORBIDDEN_MODULES:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+class SterileImports(Rule):
+    """Forbid imports of real-I/O modules outside the explicit allowlist."""
+
+    rule_id = "STER001"
+    title = "real-I/O import in simulation code"
+    rationale = (
+        "The simulation must stay sterile: no sockets, TLS, subprocesses, or "
+        "HTTP clients — all 'network' behaviour flows through the simulated "
+        "fabric so runs are offline, safe, and reproducible."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    hit = _forbidden(alias.name)
+                    if hit is not None:
+                        yield self.finding(
+                            ctx, node, alias.name,
+                            f"import of real-I/O module '{alias.name}' "
+                            f"(forbidden family: {hit})",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                hit = _forbidden(node.module)
+                if hit is not None:
+                    yield self.finding(
+                        ctx, node, node.module,
+                        f"import from real-I/O module '{node.module}' "
+                        f"(forbidden family: {hit})",
+                    )
+                    continue
+                # `from http import client` sneaks past the module check.
+                for alias in node.names:
+                    full = f"{node.module}.{alias.name}"
+                    hit = _forbidden(full)
+                    if hit is not None:
+                        yield self.finding(
+                            ctx, node, full,
+                            f"import of real-I/O module '{full}' "
+                            f"(forbidden family: {hit})",
+                        )

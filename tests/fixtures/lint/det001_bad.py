@@ -1,0 +1,16 @@
+"""DET001 positive cases: unseeded / module-level randomness."""
+
+import random
+from random import choice  # flagged at the import
+
+
+def pick(options):
+    return random.choice(options)  # module-level RNG
+
+
+def jitter():
+    return random.random()  # module-level RNG
+
+
+def make_rng():
+    return random.Random()  # unseeded instance

@@ -1,0 +1,16 @@
+"""DET001 negative cases: explicitly seeded randomness only."""
+
+import random
+from random import Random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def make_rng_from_import(seed: int) -> Random:
+    return Random(seed)
+
+
+def derived_rng(parent: random.Random) -> random.Random:
+    return random.Random(parent.getrandbits(64))

@@ -1,0 +1,25 @@
+"""DET002 positive cases: wall-clock reads."""
+
+import time
+import datetime
+from time import monotonic  # flagged at the import
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return time.perf_counter()
+
+
+def pause():
+    time.sleep(0.1)
+
+
+def today():
+    return datetime.datetime.now()
+
+
+def utc():
+    return datetime.datetime.utcnow()

@@ -1,0 +1,17 @@
+"""DET002 negative cases: simulated time and non-clock time uses."""
+
+import time  # importing the module alone is fine; calling into it is not
+
+
+def simulated(clock) -> float:
+    return clock.now
+
+
+def window(scheduler) -> int:
+    return scheduler.run_for(24 * 3600.0)
+
+
+def format_duration(seconds: float) -> str:
+    return time.strftime("%H:%M:%S", (0, 0, 0, int(seconds) // 3600,
+                                      int(seconds) % 3600 // 60,
+                                      int(seconds) % 60, 0, 0, 0))

@@ -1,0 +1,22 @@
+"""DET003 positive cases: raw set order escaping into ordered output."""
+
+
+def report(countries) -> list:
+    return list(set(countries))  # list(set(...)) preserves hash order
+
+
+def lines(markers: set) -> str:
+    return ", ".join({m.upper() for m in markers})  # join over a set comp
+
+
+def walk(nodes):
+    for node in set(nodes):  # for-loop over set()
+        yield node
+
+
+def first_hosts(hosts: set) -> list:
+    return [h for h in hosts if h]  # negative: plain name, not a set expr
+
+
+def sample(rng, hosts: list):
+    return rng.sample(set(hosts), 3)  # sampling straight from a set

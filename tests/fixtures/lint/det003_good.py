@@ -1,0 +1,26 @@
+"""DET003 negative cases: sets are fine once ordered (or order-free)."""
+
+
+def report(countries: set) -> list:
+    return sorted(countries)
+
+
+def lines(markers: set) -> str:
+    return ", ".join(sorted({m.upper() for m in markers}))
+
+
+def walk(nodes):
+    for node in sorted(set(nodes)):
+        yield node
+
+
+def total(sizes: set) -> int:
+    return sum(sizes)  # order-insensitive reduction
+
+
+def biggest(sizes: set) -> int:
+    return max(sizes)  # order-insensitive reduction
+
+
+def sample(rng, hosts: list):
+    return rng.sample(sorted(set(hosts)), 3)

@@ -1,0 +1,21 @@
+"""SAFE001 positive cases: mutable defaults shared across calls."""
+
+
+def collect(record, bucket=[]):
+    bucket.append(record)
+    return bucket
+
+
+def index(record, table={}):
+    table[record] = True
+    return table
+
+
+def tag(record, seen=set()):
+    seen.add(record)
+    return seen
+
+
+def build(record, *, rows=list()):
+    rows.append(record)
+    return rows

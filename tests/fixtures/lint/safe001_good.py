@@ -1,0 +1,12 @@
+"""SAFE001 negative cases: None defaults and immutable defaults."""
+
+
+def collect(record, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(record)
+    return bucket
+
+
+def label(record, prefix="node", count=0, flags=()):
+    return f"{prefix}-{count}-{record}{''.join(flags)}"

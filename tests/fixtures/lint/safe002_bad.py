@@ -1,0 +1,22 @@
+"""SAFE002 positive cases: blanket handlers that swallow evidence."""
+
+
+def swallow_everything(probe):
+    try:
+        return probe()
+    except:  # noqa: E722  bare
+        return None
+
+
+def swallow_exception(probe):
+    try:
+        return probe()
+    except Exception:
+        return None
+
+
+def swallow_base(probe):
+    try:
+        return probe()
+    except (ValueError, BaseException):
+        return None

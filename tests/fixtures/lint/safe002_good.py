@@ -1,0 +1,23 @@
+"""SAFE002 negative cases: specific handlers, or broad ones that re-raise."""
+
+
+def handle_specific(probe):
+    try:
+        return probe()
+    except ValueError:
+        return None
+
+
+def cleanup_and_reraise(probe, log):
+    try:
+        return probe()
+    except Exception:
+        log.append("probe failed")
+        raise
+
+
+def wrap_and_reraise(probe):
+    try:
+        return probe()
+    except Exception as exc:
+        raise RuntimeError("probe failed") from exc

@@ -1,0 +1,20 @@
+"""SIM001 positive cases: mutable dataclasses in a record module.
+
+The rule only fires when the lint config lists this file as a record
+module (the tests configure ``*sim001_*.py`` as such).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Answer:
+    qname: str
+    rdata: int
+
+
+@dataclass(slots=True)
+class Header:
+    name: str
+    value: str
+    hops: list = field(default_factory=list)

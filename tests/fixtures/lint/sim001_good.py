@@ -1,0 +1,20 @@
+"""SIM001 negative cases: frozen records and non-dataclass helpers."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Answer:
+    qname: str
+    rdata: int
+
+
+@dataclass(frozen=True)
+class Header:
+    name: str
+    value: str
+
+
+class Codec:  # plain classes are out of scope — behaviour, not records
+    def encode(self, record: Answer) -> bytes:
+        return f"{record.qname}/{record.rdata}".encode()

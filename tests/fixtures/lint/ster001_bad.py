@@ -1,0 +1,7 @@
+"""STER001 positive cases: every import here reaches real I/O."""
+
+import socket  # noqa: F401
+import urllib.request  # noqa: F401
+from http import client  # noqa: F401
+from ssl import create_default_context  # noqa: F401
+from subprocess import run  # noqa: F401

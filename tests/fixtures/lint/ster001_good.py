@@ -1,0 +1,6 @@
+"""STER001 negative cases: near-miss stdlib imports that are sterile."""
+
+import urllib.parse  # noqa: F401  (parsing only — no network)
+from http import HTTPStatus  # noqa: F401  (an enum, not a client)
+import json  # noqa: F401
+import pathlib  # noqa: F401

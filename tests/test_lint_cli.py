@@ -1,0 +1,173 @@
+"""Reporter stability and the ``repro lint`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    LintConfig,
+    LintEngine,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def _findings(stem: str) -> list[Finding]:
+    return LintEngine(LintConfig()).lint_file(FIXTURES / f"{stem}.py", FIXTURES)
+
+
+class TestReporters:
+    def test_json_is_stable_and_parseable(self):
+        findings = _findings("ster001_bad")
+        first = render_json(findings)
+        second = render_json(list(reversed(findings)))
+        assert first == second  # sorted findings, sorted keys
+        payload = json.loads(first)
+        assert payload["version"] == 1
+        assert payload["count"] == len(findings) == len(payload["findings"])
+        assert payload["suppressed"] == 0 and payload["stale_baseline"] == []
+        entry = payload["findings"][0]
+        assert set(entry) == {"rule", "path", "line", "col", "symbol", "message"}
+
+    def test_json_round_trips_fingerprints(self):
+        findings = _findings("det002_bad")
+        payload = json.loads(render_json(findings))
+        rebuilt = [Finding(**f) for f in payload["findings"]]
+        assert [f.fingerprint for f in rebuilt] == [f.fingerprint for f in findings]
+
+    def test_text_contains_locations_and_summary(self):
+        findings = _findings("safe002_bad")
+        text = render_text(findings)
+        assert "safe002_bad.py:" in text
+        assert "SAFE002" in text
+        assert text.rstrip().endswith(f"{len(findings)} finding(s)")
+
+    def test_text_reports_stale_entries(self):
+        stale = [BaselineEntry("DET001", "gone.py", "random.random", "obsolete")]
+        text = render_text([], stale=stale)
+        assert "stale baseline" in text
+        assert "gone.py" in text
+
+
+class TestBaselineRoundtrip:
+    def test_write_then_split_suppresses_everything(self, tmp_path):
+        findings = _findings("det001_bad")
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        new, suppressed, stale = load_baseline(path).split(findings)
+        assert new == [] and stale == []
+        assert len(suppressed) == len(findings)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == Baseline()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_stale_detection(self):
+        baseline = Baseline(
+            entries=(BaselineEntry("STER001", "gone.py", "socket", "why"),)
+        )
+        new, suppressed, stale = baseline.split(_findings("ster001_good"))
+        assert new == [] and suppressed == []
+        assert [e.path for e in stale] == ["gone.py"]
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        code = main([
+            "lint", "ster001_good.py", "det002_good.py", "--root", str(FIXTURES),
+        ])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, capsys):
+        code = main(["lint", "ster001_bad.py", "--root", str(FIXTURES)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "STER001" in out and "ster001_bad.py:" in out
+
+    def test_json_format(self, capsys):
+        code = main([
+            "lint", "det001_bad.py", "--root", str(FIXTURES), "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] > 0
+        assert {f["rule"] for f in payload["findings"]} == {"DET001"}
+
+    def test_write_baseline_then_clean(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", "safe001_bad.py", "--root", str(FIXTURES),
+            "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+        code = main([
+            "lint", "safe001_bad.py", "--root", str(FIXTURES),
+            "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_stale_baseline_fails(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({
+                "version": 1,
+                "entries": [{
+                    "rule": "STER001", "path": "gone.py",
+                    "symbol": "socket", "justification": "obsolete",
+                }],
+            }),
+            encoding="utf-8",
+        )
+        code = main([
+            "lint", ".", "--root", str(FIXTURES),
+            "--baseline", str(baseline),
+        ])
+        assert code == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_subtree_scan_ignores_out_of_scope_baseline(self, capsys, tmp_path):
+        # A restricted scan must not flag baseline entries for files it
+        # never visited (otherwise `repro lint <subtree>` always fails).
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({
+                "version": 1,
+                "entries": [{
+                    "rule": "STER001", "path": "elsewhere/gone.py",
+                    "symbol": "socket", "justification": "obsolete",
+                }],
+            }),
+            encoding="utf-8",
+        )
+        code = main([
+            "lint", "ster001_good.py", "--root", str(FIXTURES),
+            "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "stale" not in capsys.readouterr().out
+
+    def test_repo_default_invocation_is_clean(self, capsys):
+        root = pathlib.Path(__file__).resolve().parents[1]
+        code = main(["lint", "--root", str(root), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0

@@ -1,0 +1,104 @@
+"""Fixture-driven tests: every rule fires on bad code, stays silent on good.
+
+Each rule has a ``<ruleid>_bad.py`` / ``<ruleid>_good.py`` pair under
+``tests/fixtures/lint/``.  The bad file must produce at least the expected
+findings *for that rule and no other*; the good file must produce no
+findings at all (near-misses are part of the point).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import LintConfig, LintEngine
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "lint"
+
+#: (rule id, fixture stem, expected symbols in the bad file).
+CASES = [
+    ("STER001", "ster001", {
+        "socket", "urllib.request", "http.client", "ssl", "subprocess",
+    }),
+    ("DET001", "det001", {
+        "random.choice", "random.random", "random.Random()",
+    }),
+    ("DET002", "det002", {
+        "time.monotonic", "time.time", "time.perf_counter", "time.sleep",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+    }),
+    ("DET003", "det003", {
+        "list(set)", "join(set)", "for-in-set", "sample(set)",
+    }),
+    ("SAFE001", "safe001", {"collect", "index", "tag", "build"}),
+    ("SAFE002", "safe002", {
+        "bare-except", "except-Exception", "except-BaseException",
+    }),
+    ("SIM001", "sim001", {"Answer", "Header"}),
+]
+
+
+def fixture_engine() -> LintEngine:
+    """An engine whose SIM001 record modules include the sim001 fixtures."""
+    config = LintConfig(record_modules=("*sim001_*.py",))
+    return LintEngine(config)
+
+
+@pytest.mark.parametrize("rule_id,stem,symbols", CASES, ids=[c[0] for c in CASES])
+class TestRuleFixtures:
+    def test_bad_fixture_fires(self, rule_id, stem, symbols):
+        findings = fixture_engine().lint_file(FIXTURES / f"{stem}_bad.py", FIXTURES)
+        assert findings, f"{rule_id}: bad fixture produced no findings"
+        assert {f.rule for f in findings} == {rule_id}, (
+            f"{stem}_bad.py should only trip {rule_id}: {findings}"
+        )
+        assert {f.symbol for f in findings} == symbols
+        assert all(f.line > 0 for f in findings)
+        assert all(f.path == f"{stem}_bad.py" for f in findings)
+
+    def test_good_fixture_is_silent(self, rule_id, stem, symbols):
+        findings = fixture_engine().lint_file(FIXTURES / f"{stem}_good.py", FIXTURES)
+        assert findings == [], f"{stem}_good.py should be clean: {findings}"
+
+
+class TestEngineMechanics:
+    def test_findings_sorted_and_deterministic(self):
+        engine = fixture_engine()
+        once = engine.lint_paths([FIXTURES], root=FIXTURES)
+        twice = engine.lint_paths([FIXTURES], root=FIXTURES)
+        assert once == twice
+        assert once == sorted(once, key=lambda f: f.sort_key)
+
+    def test_allowlist_suppresses(self):
+        config = LintConfig(allow={"STER001": ("*ster001_bad.py",)})
+        findings = LintEngine(config).lint_file(
+            FIXTURES / "ster001_bad.py", FIXTURES
+        )
+        assert findings == []
+
+    def test_select_restricts_rules(self):
+        config = LintConfig(select=("DET002",))
+        engine = LintEngine(config)
+        findings = engine.lint_paths([FIXTURES], root=FIXTURES)
+        assert findings and {f.rule for f in findings} == {"DET002"}
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        findings = fixture_engine().lint_file(bad, tmp_path)
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_lint_source_string(self):
+        findings = fixture_engine().lint_source("import socket\n", "inline.py")
+        assert [f.rule for f in findings] == ["STER001"]
+        assert findings[0].path == "inline.py"
+
+    def test_rule_docs_complete(self):
+        from repro.lint.engine import iter_rule_docs
+
+        docs = list(iter_rule_docs())
+        ids = [rule_id for rule_id, _, _ in docs]
+        assert ids == sorted(set(ids)) or len(ids) == len(set(ids))
+        for rule_id, title, rationale in docs:
+            assert rule_id and title and rationale

@@ -1,0 +1,57 @@
+"""The tier-1 gate: the repository's own source must lint clean.
+
+This is the enforcement point for the sterility/determinism contract — it
+runs the full rule set over ``src/`` and fails on any finding that is not
+covered by a justified entry in ``lint-baseline.json``.  It also fails on
+*stale* baseline entries, so the baseline can only ever shrink.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint import LintConfig, LintEngine, load_baseline
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+BASELINE = ROOT / "lint-baseline.json"
+
+
+def _lint_src():
+    engine = LintEngine(LintConfig.load(ROOT))
+    return engine.lint_paths([ROOT / "src" / "repro"], root=ROOT)
+
+
+def test_src_has_no_new_findings():
+    findings = _lint_src()
+    new, _suppressed, _stale = load_baseline(BASELINE).split(findings)
+    details = "\n".join(
+        f"  {f.path}:{f.line} {f.rule} [{f.symbol}] {f.message}" for f in new
+    )
+    assert not new, (
+        "src/ violates the sterility/determinism contract "
+        "(fix it, or baseline it with a justification):\n" + details
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    findings = _lint_src()
+    _new, _suppressed, stale = load_baseline(BASELINE).split(findings)
+    details = "\n".join(f"  {e.rule} {e.path} [{e.symbol}]" for e in stale)
+    assert not stale, "baseline entries no longer match any finding:\n" + details
+
+
+def test_baseline_entries_are_justified():
+    baseline = load_baseline(BASELINE)
+    for entry in baseline.entries:
+        assert entry.justification.strip(), f"unjustified baseline entry: {entry}"
+        assert not entry.justification.startswith("TODO"), (
+            f"placeholder justification must be replaced: {entry}"
+        )
+
+
+def test_lint_package_lints_itself_clean():
+    # The checker is part of src/ and subject to its own rules; assert it
+    # directly so a regression names the right culprit.
+    engine = LintEngine(LintConfig.load(ROOT))
+    findings = engine.lint_paths([ROOT / "src" / "repro" / "lint"], root=ROOT)
+    assert findings == []
