@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Time the full engine study at two world sizes; emit ``BENCH_study.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_study.py [--repeats N] [--out PATH]
+
+For each size the script runs ``repro.engine.run_study`` (all four
+experiments, sharded, no analyses) and records wall-clock timings alongside
+the run's deterministic counters and a SHA-256 over its canonical dataset
+summary.  Everything except the ``wall_seconds`` block is bit-stable: two
+machines benchmarking the same tree must agree on every other field, so the
+JSON doubles as a cross-machine determinism check.
+
+Keys are emitted sorted; timings are in the ``wall_seconds`` block only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.engine import StudySpec, run_study
+from repro.sim import WorldConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: The two benchmark sizes: scale 0.005 is a quick smoke (~4K hosts), scale
+#: 0.02 matches the default study configuration (~18K hosts).
+SIZES = (
+    ("small", 0.005),
+    ("medium", 0.02),
+)
+
+
+def bench_size(name: str, scale: float, shards: int, workers: int, repeats: int) -> dict:
+    """Benchmark one world size; return its result block."""
+    config = WorldConfig(scale=scale)
+    spec = StudySpec(config=config, seed=1000, shards=shards, workers=workers)
+    wall: list[float] = []
+    run = None
+    for attempt in range(repeats):
+        started = time.perf_counter()
+        run = run_study(spec, analyses=False)
+        elapsed = time.perf_counter() - started
+        wall.append(elapsed)
+        print(f"  {name} run {attempt + 1}/{repeats}: {elapsed:.1f}s", flush=True)
+    assert run is not None
+    report = run.report.to_dict()
+    summary_sha = hashlib.sha256(run.dataset_summary().encode("utf-8")).hexdigest()
+    return {
+        "scale": scale,
+        "shards": shards,
+        "workers": workers,
+        "seed": spec.seed,
+        "world_seed": config.seed,
+        "planned": report["planned"],
+        "measured": report["measured"],
+        "skipped": report["skipped"],
+        "failed": report["failed"],
+        "retries": report["retries"],
+        "traffic_gb": report["traffic_gb"],
+        "sim_seconds": round(sum(s["sim_seconds"] for s in report["shards"]), 3),
+        "dataset_summary_sha256": summary_sha,
+        "run_digest": run.digest,
+        "wall_seconds": {
+            "runs": len(wall),
+            "best": round(min(wall), 3),
+            "mean": round(statistics.mean(wall), 3),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=1, help="timed runs per size")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--out", default=str(RESULTS_DIR / "BENCH_study.json"),
+        help="output path (default: results/BENCH_study.json)",
+    )
+    args = parser.parse_args(argv)
+
+    payload: dict = {"benchmark": "engine-full-study", "sizes": {}}
+    for name, scale in SIZES:
+        print(f"benchmarking {name} (scale={scale}) ...", flush=True)
+        payload["sizes"][name] = bench_size(
+            name, scale, args.shards, args.workers, args.repeats
+        )
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

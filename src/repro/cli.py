@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the full pipeline without writing any code:
+Five commands cover the full pipeline without writing any code:
 
 * ``world-info`` — build a world and summarize its population;
 * ``run`` — run one (or all) of the paper's four experiments, print the
   corresponding tables, and optionally save the dataset as JSON Lines;
+* ``study`` — run the complete study on the sharded execution engine
+  (``--shards/--workers/--checkpoint/--resume``; see ``docs/engine.md``);
 * ``report`` — re-print the tables for a previously saved dataset;
 * ``lint`` — run the sterility/determinism static checker over the source
   (see ``docs/static_analysis.md``); exits non-zero on new findings.
@@ -243,6 +245,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.engine import StudySpec, run_study
+
+    config = WorldConfig.from_env(scale=args.scale, seed=args.seed)
+    spec = StudySpec(
+        config=config,
+        seed=args.study_seed,
+        shards=args.shards,
+        workers=args.workers,
+    )
+    print(
+        f"engine study: scale={config.scale} seed={config.seed} "
+        f"study-seed={spec.seed} shards={spec.shards} workers={spec.workers}"
+        + (f" checkpoint={args.checkpoint}" + (" (resume)" if args.resume else "")
+           if args.checkpoint else ""),
+        flush=True,
+    )
+    started = time.perf_counter()
+    run = run_study(spec, checkpoint=args.checkpoint, resume=args.resume)
+    elapsed = time.perf_counter() - started
+    assert run.results is not None
+    print(run.results.render_summary())
+    report = run.report
+    print(
+        f"\nengine: {report.completed_shards}/{report.shard_count} shards "
+        f"({report.resumed_shards} resumed), "
+        f"{sum(m.measured for m in report.shards):,} nodes measured, "
+        f"{sum(m.retries for m in report.shards):,} retries, "
+        f"{sum(m.failed for m in report.shards):,} failures in {elapsed:.1f}s"
+    )
+    if args.metrics:
+        path = pathlib.Path(args.metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"metrics written to {path}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import LintConfig, LintEngine, load_baseline, write_baseline
     from repro.lint.reporters import render_json, render_text
@@ -309,6 +349,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--out", help="directory for JSONL dataset dumps")
 
+    study = sub.add_parser(
+        "study",
+        help="run the full study on the sharded engine (checkpoint/resume aware)",
+    )
+    study.add_argument(
+        "--shards", type=int, default=4,
+        help="deterministic shard count (part of the run's identity; default 4)",
+    )
+    study.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are identical for any value; default 1)",
+    )
+    study.add_argument(
+        "--checkpoint", help="JSONL journal path for completed shards"
+    )
+    study.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint (refused if its manifest digest "
+        "does not match this run's parameters)",
+    )
+    study.add_argument(
+        "--study-seed", type=int, default=1000,
+        help="seed for crawl plans and shard seed derivation (default 1000)",
+    )
+    study.add_argument("--metrics", help="write the run metrics JSON to this path")
+
     report = sub.add_parser("report", help="re-print tables for a saved dataset")
     report.add_argument("--experiment", choices=EXPERIMENTS, required=True)
     report.add_argument("--dataset", required=True, help="JSONL file from `run --out`")
@@ -348,6 +414,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "world-info": _cmd_world_info,
         "run": _cmd_run,
+        "study": _cmd_study,
         "report": _cmd_report,
         "lint": _cmd_lint,
     }

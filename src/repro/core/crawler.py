@@ -16,7 +16,7 @@ import itertools
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.luminati.service import LuminatiClient
 
@@ -24,6 +24,42 @@ from repro.luminati.service import LuminatiClient
 DEFAULT_WINDOW = 400
 #: Stop when fewer than this fraction of recent probes found a new node.
 DEFAULT_STOP_THRESHOLD = 0.12
+
+
+def build_country_weights(
+    reported: Mapping[str, int],
+    country_filter: Optional[Sequence[str]] = None,
+) -> tuple[list[str], list[int]]:
+    """Cumulative country weights for proportional sampling (§3.2).
+
+    Pure: the returned ``(countries, cumulative_weights)`` pair depends only
+    on the reported counts (in mapping order) and the filter.  Shared by the
+    live :class:`CrawlController` and :meth:`CrawlController.iteration_plan`
+    so both sample from one definition of the country distribution.
+    """
+    if country_filter is not None:
+        allowed = set(country_filter)
+        reported = {cc: count for cc, count in reported.items() if cc in allowed}
+    countries: list[str] = []
+    cumweights: list[int] = []
+    total = 0
+    for country, count in reported.items():
+        if count <= 0:
+            continue
+        total += count
+        countries.append(country)
+        cumweights.append(total)
+    if not countries:
+        raise ValueError("no crawlable countries")
+    return countries, cumweights
+
+
+def weighted_country_pick(
+    countries: Sequence[str], cumweights: Sequence[int], rng: random.Random
+) -> str:
+    """One proportional country draw against prebuilt cumulative weights."""
+    index = bisect.bisect_right(cumweights, rng.randrange(cumweights[-1]))
+    return countries[index]
 
 
 @dataclass
@@ -82,29 +118,15 @@ class CrawlController:
         self._session_counter = itertools.count(1)
         self._session_prefix = f"s{seed}"
 
-        reported = client.reported_countries()
-        if country_filter is not None:
-            allowed = set(country_filter)
-            reported = {cc: count for cc, count in reported.items() if cc in allowed}
-        if not reported:
-            raise ValueError("no crawlable countries")
-        self._countries: list[str] = []
-        self._cumweights: list[int] = []
-        total = 0
-        for country, count in reported.items():
-            if count <= 0:
-                continue
-            total += count
-            self._countries.append(country)
-            self._cumweights.append(total)
+        self._countries, self._cumweights = build_country_weights(
+            client.reported_countries(), country_filter
+        )
 
     # -- sampling -------------------------------------------------------------
 
     def next_country(self) -> str:
         """A country drawn proportionally to reported node counts (§3.2)."""
-        total = self._cumweights[-1]
-        index = bisect.bisect_right(self._cumweights, self.rng.randrange(total))
-        return self._countries[index]
+        return weighted_country_pick(self._countries, self._cumweights, self.rng)
 
     def next_session(self) -> str:
         """A fresh session identifier (forces Luminati to pick a new node)."""
@@ -131,6 +153,78 @@ class CrawlController:
             self.stats.repeats += 1
         self._window.append(1 if is_new else 0)
         return is_new
+
+    # -- iteration plan ---------------------------------------------------------
+
+    @staticmethod
+    def iteration_plan(
+        pools: Mapping[str, Sequence[str]],
+        seed: int,
+        country_filter: Optional[Sequence[str]] = None,
+        window: int = DEFAULT_WINDOW,
+        stop_threshold: float = DEFAULT_STOP_THRESHOLD,
+        max_probes: Optional[int] = None,
+    ) -> tuple[str, ...]:
+        """The ordered zID visit list a crawl with this seed produces.
+
+        Pure function of its arguments: given the per-country node pools (the
+        simulation can enumerate what Luminati only samples), it replays the
+        controller's proportional country sampling and per-country rotation
+        — country picks from the same ``crawl:<seed>`` RNG stream recipe and
+        weight table as the live controller, node order within a country from
+        a seeded shuffle that reshuffles each epoch, and the same
+        sliding-window stopping rule over new-node discovery.  The execution
+        engine shards this list; sharing the function with the controller
+        keeps node ordering defined in exactly one place.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        if not 0.0 <= stop_threshold <= 1.0:
+            raise ValueError(f"stop_threshold out of range: {stop_threshold}")
+        counts = {country: len(zids) for country, zids in pools.items()}
+        countries, cumweights = build_country_weights(counts, country_filter)
+        rng = random.Random(f"crawl:{seed}")
+
+        class _Rotation:
+            __slots__ = ("zids", "order", "cursor", "epoch")
+
+            def __init__(self, zids: Sequence[str]) -> None:
+                self.zids = list(zids)
+                self.order: list[int] = []
+                self.cursor = 0
+                self.epoch = 0
+
+        rotations = {country: _Rotation(pools[country]) for country in countries}
+        visited: list[str] = []
+        seen: set[str] = set()
+        recent: deque[int] = deque(maxlen=window)
+        probes = 0
+        # Hard bound so a zero threshold (or a degenerate pool) still
+        # terminates once every node has long since been visited.
+        total_nodes = sum(counts[country] for country in countries)
+        ceiling = max_probes if max_probes is not None else window + 20 * total_nodes
+
+        while probes < ceiling:
+            country = weighted_country_pick(countries, cumweights, rng)
+            rotation = rotations[country]
+            if rotation.cursor >= len(rotation.order):
+                rotation.order = list(range(len(rotation.zids)))
+                shuffle_rng = random.Random(f"crawl:{seed}:{country}:{rotation.epoch}")
+                shuffle_rng.shuffle(rotation.order)
+                rotation.cursor = 0
+                rotation.epoch += 1
+            zid = rotation.zids[rotation.order[rotation.cursor]]
+            rotation.cursor += 1
+
+            probes += 1
+            is_new = zid not in seen
+            if is_new:
+                seen.add(zid)
+                visited.append(zid)
+            recent.append(1 if is_new else 0)
+            if len(recent) >= window and sum(recent) / len(recent) < stop_threshold:
+                break
+        return tuple(visited)
 
     @property
     def should_stop(self) -> bool:

@@ -106,6 +106,11 @@ class HttpModExperiment:
         self._as_measured: dict[int, int] = {}
         self._flagged: set[int] = set()
 
+    @property
+    def flagged_ases(self) -> set[int]:
+        """ASes with at least one end-to-end signal so far (a copy)."""
+        return set(self._flagged)
+
     # -- fetching -----------------------------------------------------------------
 
     def _fetch(self, kind: ObjectKind, session: str, country: str):
@@ -130,11 +135,16 @@ class HttpModExperiment:
         session: str,
         skip_zids: Optional[set[str]] = None,
         target_asns: Optional[set[int]] = None,
+        apply_sampling_policy: bool = True,
     ) -> tuple[Optional[str], Optional[HttpProbeRecord]]:
         """Measure one node; the HTML fetch doubles as AS identification.
 
         ``target_asns`` is set during the revisit phase: only nodes in those
         ASes are measured (anything else Luminati hands us is released).
+        ``apply_sampling_policy=False`` disables the 3-per-AS economics and
+        measures the node unconditionally — plan-driven execution (the
+        engine) decides coverage up front, so the adaptive gate would only
+        second-guess the plan.
         """
         world = self.world
         corpus = world.corpus
@@ -163,7 +173,7 @@ class HttpModExperiment:
         if target_asns is not None:
             if asn not in target_asns:
                 return zid, None
-        elif not self._wants_more(asn):
+        elif apply_sampling_policy and not self._wants_more(asn):
             return zid, None
 
         modified: dict[ObjectKind, bytes] = {}

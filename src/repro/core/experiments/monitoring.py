@@ -108,8 +108,15 @@ class MonitoringExperiment:
         session: str,
         skip_zids: Optional[set[str]] = None,
         tracer: Optional[Tracer] = None,
+        only_zid: Optional[str] = None,
     ) -> Optional[str]:
-        """Issue one unique-domain probe; log analysis happens later."""
+        """Issue one unique-domain probe; log analysis happens later.
+
+        ``only_zid`` restricts recording to one expected node: a session
+        failover onto any other node returns that node's zID without adding
+        it to the pending set (plan-driven execution owns exactly its
+        planned nodes and must not measure a neighbour shard's).
+        """
         domain = f"m-{self._tag}-{next(self._probe_counter)}.{PROBE_ZONE}"
         if tracer is not None:
             tracer.add("client", "request unique domain", "super proxy", domain)
@@ -120,6 +127,8 @@ class MonitoringExperiment:
             return None
         zid = result.debug.zid
         if skip_zids is not None and zid in skip_zids:
+            return zid
+        if only_zid is not None and zid != only_zid:
             return zid
         if tracer is not None:
             tracer.add("exit node", "fetch content", "measurement server", domain)
@@ -171,6 +180,21 @@ class MonitoringExperiment:
             unexpected=tuple(unexpected),
         )
 
+    def resolve_pending(self) -> list[MonitorProbeRecord]:
+        """Wait out the 24-hour window, then classify every probe's log.
+
+        Separated from :meth:`run` so plan-driven execution (the engine) can
+        issue its own probes via :meth:`probe_once` and still share one
+        implementation of the watch-window/log-resolution step.
+        """
+        # Let the last probes' 24-hour windows elapse so every scheduled
+        # re-fetch lands in the log.
+        self.world.internet.advance(WATCH_WINDOW_SECONDS + 1.0)
+        return [
+            self._resolve_record(zid, domain, reported_ip)
+            for zid, (domain, reported_ip) in self._pending.items()
+        ]
+
     def run(self) -> MonitoringDataset:
         """Probe, wait out the 24-hour window, then analyse the access log."""
         dataset = MonitoringDataset()
@@ -181,12 +205,7 @@ class MonitoringExperiment:
             zid = self.probe_once(country, session, skip_zids=controller.stats.seen_zids)
             controller.record_probe(zid)
 
-        # Let the last probes' 24-hour windows elapse so every scheduled
-        # re-fetch lands in the log.
-        self.world.internet.advance(WATCH_WINDOW_SECONDS + 1.0)
-
-        for zid, (domain, reported_ip) in self._pending.items():
-            dataset.records.append(self._resolve_record(zid, domain, reported_ip))
+        dataset.records.extend(self.resolve_pending())
         dataset.probes = controller.stats.probes
         return dataset
 

@@ -5,6 +5,11 @@ equivalent for the reproduction: every experiment dataset can be written to
 (and re-read from) JSON Lines, so analyses can run on a saved crawl without
 rebuilding the world.  Binary payloads (hijack pages, modified bodies) are
 base64-encoded; record order is preserved.
+
+The per-dataset dict codecs (``*_dataset_to_dict`` / ``dataset_from_dict``)
+are the single source of truth for the wire shape: the JSONL files here, the
+execution engine's shard checkpoints, and its cross-process result transport
+all use them, so a dataset round-trips identically through any of the three.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ from repro.core.experiments.monitoring import (
 from repro.web.content import ObjectKind
 
 PathLike = Union[str, pathlib.Path]
+
+#: Any of the four experiment datasets.
+Dataset = Union[DnsDataset, HttpDataset, HttpsDataset, MonitoringDataset]
 
 
 def _encode(data: bytes) -> str:
@@ -61,199 +69,300 @@ def _read_lines(path: PathLike, expected_kind: str) -> tuple[dict, list[dict]]:
 # -- DNS ---------------------------------------------------------------------
 
 
-def save_dns_dataset(dataset: DnsDataset, path: PathLike) -> int:
-    """Write a §4 dataset; returns the number of records written."""
-    header = {
+def dns_record_to_row(r: DnsProbeRecord) -> dict:
+    """One §4 record as a JSON-able dict."""
+    return {
+        "zid": r.zid,
+        "exit_ip": r.exit_ip,
+        "asn": r.asn,
+        "country": r.country,
+        "dns_server_ip": r.dns_server_ip,
+        "dns_server_asn": r.dns_server_asn,
+        "hijacked": r.hijacked,
+        "page": _encode(r.page),
+    }
+
+
+def dns_record_from_row(row: dict) -> DnsProbeRecord:
+    """Inverse of :func:`dns_record_to_row`."""
+    return DnsProbeRecord(
+        zid=row["zid"],
+        exit_ip=row["exit_ip"],
+        asn=row["asn"],
+        country=row["country"],
+        dns_server_ip=row["dns_server_ip"],
+        dns_server_asn=row["dns_server_asn"],
+        hijacked=row["hijacked"],
+        page=_decode(row["page"]),
+    )
+
+
+def dns_dataset_to_dict(dataset: DnsDataset) -> dict:
+    """A §4 dataset as one JSON-able dict (header + records)."""
+    return {
         "kind": "dns",
         "filtered_google_overlap": dataset.filtered_google_overlap,
         "probes": dataset.probes,
         "unique_dns_servers": dataset.unique_dns_servers,
+        "records": [dns_record_to_row(r) for r in dataset.records],
     }
-    rows = (
-        {
-            "zid": r.zid,
-            "exit_ip": r.exit_ip,
-            "asn": r.asn,
-            "country": r.country,
-            "dns_server_ip": r.dns_server_ip,
-            "dns_server_asn": r.dns_server_asn,
-            "hijacked": r.hijacked,
-            "page": _encode(r.page),
-        }
-        for r in dataset.records
+
+
+def dns_dataset_from_dict(payload: dict) -> DnsDataset:
+    """Inverse of :func:`dns_dataset_to_dict`."""
+    dataset = DnsDataset(
+        filtered_google_overlap=payload["filtered_google_overlap"],
+        probes=payload["probes"],
+        unique_dns_servers=payload["unique_dns_servers"],
     )
-    return _write_lines(path, header, rows)
+    dataset.records.extend(dns_record_from_row(row) for row in payload["records"])
+    return dataset
+
+
+def save_dns_dataset(dataset: DnsDataset, path: PathLike) -> int:
+    """Write a §4 dataset; returns the number of records written."""
+    payload = dns_dataset_to_dict(dataset)
+    rows = payload.pop("records")
+    return _write_lines(path, payload, rows)
 
 
 def load_dns_dataset(path: PathLike) -> DnsDataset:
     """Read a §4 dataset written by :func:`save_dns_dataset`."""
     header, rows = _read_lines(path, "dns")
-    dataset = DnsDataset(
-        filtered_google_overlap=header["filtered_google_overlap"],
-        probes=header["probes"],
-        unique_dns_servers=header["unique_dns_servers"],
-    )
-    for row in rows:
-        dataset.records.append(
-            DnsProbeRecord(
-                zid=row["zid"],
-                exit_ip=row["exit_ip"],
-                asn=row["asn"],
-                country=row["country"],
-                dns_server_ip=row["dns_server_ip"],
-                dns_server_asn=row["dns_server_asn"],
-                hijacked=row["hijacked"],
-                page=_decode(row["page"]),
-            )
-        )
-    return dataset
+    return dns_dataset_from_dict({**header, "records": rows})
 
 
 # -- HTTP --------------------------------------------------------------------
 
 
-def save_http_dataset(dataset: HttpDataset, path: PathLike) -> int:
-    """Write a §5 dataset; returns the number of records written."""
-    header = {
+def http_record_to_row(r: HttpProbeRecord) -> dict:
+    """One §5 record as a JSON-able dict."""
+    return {
+        "zid": r.zid,
+        "exit_ip": r.exit_ip,
+        "asn": r.asn,
+        "country": r.country,
+        "modified": {kind.value: _encode(body) for kind, body in r.modified_bodies.items()},
+        "fetched_all": r.fetched_all,
+        "via_token": r.via_token,
+        "cached_dynamic": r.cached_dynamic,
+    }
+
+
+def http_record_from_row(row: dict) -> HttpProbeRecord:
+    """Inverse of :func:`http_record_to_row`."""
+    return HttpProbeRecord(
+        zid=row["zid"],
+        exit_ip=row["exit_ip"],
+        asn=row["asn"],
+        country=row["country"],
+        modified_bodies={
+            ObjectKind(kind): _decode(body) for kind, body in row["modified"].items()
+        },
+        fetched_all=row["fetched_all"],
+        via_token=row.get("via_token", ""),
+        cached_dynamic=row.get("cached_dynamic", False),
+    )
+
+
+def http_dataset_to_dict(dataset: HttpDataset) -> dict:
+    """A §5 dataset as one JSON-able dict (header + records)."""
+    return {
         "kind": "http",
         "probes": dataset.probes,
         "flagged_ases": sorted(dataset.flagged_ases),
+        "records": [http_record_to_row(r) for r in dataset.records],
     }
-    rows = (
-        {
-            "zid": r.zid,
-            "exit_ip": r.exit_ip,
-            "asn": r.asn,
-            "country": r.country,
-            "modified": {kind.value: _encode(body) for kind, body in r.modified_bodies.items()},
-            "fetched_all": r.fetched_all,
-            "via_token": r.via_token,
-            "cached_dynamic": r.cached_dynamic,
-        }
-        for r in dataset.records
+
+
+def http_dataset_from_dict(payload: dict) -> HttpDataset:
+    """Inverse of :func:`http_dataset_to_dict`."""
+    dataset = HttpDataset(
+        probes=payload["probes"], flagged_ases=set(payload["flagged_ases"])
     )
-    return _write_lines(path, header, rows)
+    dataset.records.extend(http_record_from_row(row) for row in payload["records"])
+    return dataset
+
+
+def save_http_dataset(dataset: HttpDataset, path: PathLike) -> int:
+    """Write a §5 dataset; returns the number of records written."""
+    payload = http_dataset_to_dict(dataset)
+    rows = payload.pop("records")
+    return _write_lines(path, payload, rows)
 
 
 def load_http_dataset(path: PathLike) -> HttpDataset:
     """Read a §5 dataset written by :func:`save_http_dataset`."""
     header, rows = _read_lines(path, "http")
-    dataset = HttpDataset(
-        probes=header["probes"], flagged_ases=set(header["flagged_ases"])
-    )
-    for row in rows:
-        dataset.records.append(
-            HttpProbeRecord(
-                zid=row["zid"],
-                exit_ip=row["exit_ip"],
-                asn=row["asn"],
-                country=row["country"],
-                modified_bodies={
-                    ObjectKind(kind): _decode(body) for kind, body in row["modified"].items()
-                },
-                fetched_all=row["fetched_all"],
-                via_token=row.get("via_token", ""),
-                cached_dynamic=row.get("cached_dynamic", False),
-            )
-        )
-    return dataset
+    return http_dataset_from_dict({**header, "records": rows})
 
 
 # -- HTTPS -------------------------------------------------------------------
 
 
+def https_record_to_row(r: HttpsProbeRecord) -> dict:
+    """One §6 record as a JSON-able dict."""
+    return {
+        "zid": r.zid,
+        "exit_ip": r.exit_ip,
+        "asn": r.asn,
+        "country": r.country,
+        "full_scan": r.full_scan,
+        "sites": [
+            {
+                "domain": s.domain,
+                "site_class": s.site_class,
+                "replaced": s.replaced,
+                "issuer_cn": s.issuer_cn,
+                "leaf_key_id": s.leaf_key_id,
+                "chain_valid": s.chain_valid,
+                "origin_invalid_kind": s.origin_invalid_kind,
+            }
+            for s in r.sites
+        ],
+    }
+
+
+def https_record_from_row(row: dict) -> HttpsProbeRecord:
+    """Inverse of :func:`https_record_to_row`."""
+    return HttpsProbeRecord(
+        zid=row["zid"],
+        exit_ip=row["exit_ip"],
+        asn=row["asn"],
+        country=row["country"],
+        full_scan=row["full_scan"],
+        sites=tuple(SiteResult(**site) for site in row["sites"]),
+    )
+
+
+def https_dataset_to_dict(dataset: HttpsDataset) -> dict:
+    """A §6 dataset as one JSON-able dict (header + records)."""
+    return {
+        "kind": "https",
+        "probes": dataset.probes,
+        "records": [https_record_to_row(r) for r in dataset.records],
+    }
+
+
+def https_dataset_from_dict(payload: dict) -> HttpsDataset:
+    """Inverse of :func:`https_dataset_to_dict`."""
+    dataset = HttpsDataset(probes=payload["probes"])
+    dataset.records.extend(https_record_from_row(row) for row in payload["records"])
+    return dataset
+
+
 def save_https_dataset(dataset: HttpsDataset, path: PathLike) -> int:
     """Write a §6 dataset; returns the number of records written."""
-    header = {"kind": "https", "probes": dataset.probes}
-    rows = (
-        {
-            "zid": r.zid,
-            "exit_ip": r.exit_ip,
-            "asn": r.asn,
-            "country": r.country,
-            "full_scan": r.full_scan,
-            "sites": [
-                {
-                    "domain": s.domain,
-                    "site_class": s.site_class,
-                    "replaced": s.replaced,
-                    "issuer_cn": s.issuer_cn,
-                    "leaf_key_id": s.leaf_key_id,
-                    "chain_valid": s.chain_valid,
-                    "origin_invalid_kind": s.origin_invalid_kind,
-                }
-                for s in r.sites
-            ],
-        }
-        for r in dataset.records
-    )
-    return _write_lines(path, header, rows)
+    payload = https_dataset_to_dict(dataset)
+    rows = payload.pop("records")
+    return _write_lines(path, payload, rows)
 
 
 def load_https_dataset(path: PathLike) -> HttpsDataset:
     """Read a §6 dataset written by :func:`save_https_dataset`."""
     header, rows = _read_lines(path, "https")
-    dataset = HttpsDataset(probes=header["probes"])
-    for row in rows:
-        dataset.records.append(
-            HttpsProbeRecord(
-                zid=row["zid"],
-                exit_ip=row["exit_ip"],
-                asn=row["asn"],
-                country=row["country"],
-                full_scan=row["full_scan"],
-                sites=tuple(SiteResult(**site) for site in row["sites"]),
-            )
-        )
-    return dataset
+    return https_dataset_from_dict({**header, "records": rows})
 
 
 # -- Monitoring --------------------------------------------------------------
 
 
+def monitoring_record_to_row(r: MonitorProbeRecord) -> dict:
+    """One §7 record as a JSON-able dict."""
+    return {
+        "zid": r.zid,
+        "reported_ip": r.reported_ip,
+        "asn": r.asn,
+        "country": r.country,
+        "domain": r.domain,
+        "node_request_time": r.node_request_time,
+        "node_request_ip": r.node_request_ip,
+        "unexpected": [
+            {
+                "source_ip": u.source_ip,
+                "time": u.time,
+                "delay": u.delay,
+                "user_agent": u.user_agent,
+                "asn": u.asn,
+            }
+            for u in r.unexpected
+        ],
+    }
+
+
+def monitoring_record_from_row(row: dict) -> MonitorProbeRecord:
+    """Inverse of :func:`monitoring_record_to_row`."""
+    return MonitorProbeRecord(
+        zid=row["zid"],
+        reported_ip=row["reported_ip"],
+        asn=row["asn"],
+        country=row["country"],
+        domain=row["domain"],
+        node_request_time=row["node_request_time"],
+        node_request_ip=row["node_request_ip"],
+        unexpected=tuple(UnexpectedRequest(**u) for u in row["unexpected"]),
+    )
+
+
+def monitoring_dataset_to_dict(dataset: MonitoringDataset) -> dict:
+    """A §7 dataset as one JSON-able dict (header + records)."""
+    return {
+        "kind": "monitoring",
+        "probes": dataset.probes,
+        "records": [monitoring_record_to_row(r) for r in dataset.records],
+    }
+
+
+def monitoring_dataset_from_dict(payload: dict) -> MonitoringDataset:
+    """Inverse of :func:`monitoring_dataset_to_dict`."""
+    dataset = MonitoringDataset(probes=payload["probes"])
+    dataset.records.extend(monitoring_record_from_row(row) for row in payload["records"])
+    return dataset
+
+
 def save_monitoring_dataset(dataset: MonitoringDataset, path: PathLike) -> int:
     """Write a §7 dataset; returns the number of records written."""
-    header = {"kind": "monitoring", "probes": dataset.probes}
-    rows = (
-        {
-            "zid": r.zid,
-            "reported_ip": r.reported_ip,
-            "asn": r.asn,
-            "country": r.country,
-            "domain": r.domain,
-            "node_request_time": r.node_request_time,
-            "node_request_ip": r.node_request_ip,
-            "unexpected": [
-                {
-                    "source_ip": u.source_ip,
-                    "time": u.time,
-                    "delay": u.delay,
-                    "user_agent": u.user_agent,
-                    "asn": u.asn,
-                }
-                for u in r.unexpected
-            ],
-        }
-        for r in dataset.records
-    )
-    return _write_lines(path, header, rows)
+    payload = monitoring_dataset_to_dict(dataset)
+    rows = payload.pop("records")
+    return _write_lines(path, payload, rows)
 
 
 def load_monitoring_dataset(path: PathLike) -> MonitoringDataset:
     """Read a §7 dataset written by :func:`save_monitoring_dataset`."""
     header, rows = _read_lines(path, "monitoring")
-    dataset = MonitoringDataset(probes=header["probes"])
-    for row in rows:
-        dataset.records.append(
-            MonitorProbeRecord(
-                zid=row["zid"],
-                reported_ip=row["reported_ip"],
-                asn=row["asn"],
-                country=row["country"],
-                domain=row["domain"],
-                node_request_time=row["node_request_time"],
-                node_request_ip=row["node_request_ip"],
-                unexpected=tuple(UnexpectedRequest(**u) for u in row["unexpected"]),
-            )
-        )
-    return dataset
+    return monitoring_dataset_from_dict({**header, "records": rows})
+
+
+# -- kind dispatch (engine checkpoints) ---------------------------------------
+
+#: kind -> (dataset_to_dict, dataset_from_dict), for generic dispatch.
+DATASET_CODECS = {
+    "dns": (dns_dataset_to_dict, dns_dataset_from_dict),
+    "http": (http_dataset_to_dict, http_dataset_from_dict),
+    "https": (https_dataset_to_dict, https_dataset_from_dict),
+    "monitoring": (monitoring_dataset_to_dict, monitoring_dataset_from_dict),
+}
+
+
+def dataset_to_dict(dataset: Dataset) -> dict:
+    """Serialize any experiment dataset to its JSON-able dict form."""
+    for kind, (encode, _decode_fn) in DATASET_CODECS.items():
+        if isinstance(dataset, _DATASET_TYPES[kind]):
+            return encode(dataset)  # type: ignore[arg-type]
+    raise TypeError(f"not an experiment dataset: {type(dataset)!r}")
+
+
+def dataset_from_dict(payload: dict) -> Dataset:
+    """Deserialize a dict produced by :func:`dataset_to_dict`."""
+    kind = payload.get("kind")
+    if kind not in DATASET_CODECS:
+        raise ValueError(f"unknown dataset kind: {kind!r}")
+    return DATASET_CODECS[kind][1](payload)
+
+
+_DATASET_TYPES = {
+    "dns": DnsDataset,
+    "http": HttpDataset,
+    "https": HttpsDataset,
+    "monitoring": MonitoringDataset,
+}

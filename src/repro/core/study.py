@@ -54,6 +54,9 @@ class StudyResults:
     html_analysis: HtmlModificationAnalysis
     cert_analysis: CertReplacementAnalysis
     monitoring_analysis: MonitoringAnalysis
+    #: Execution metrics when the engine ran the study (``None`` for the
+    #: legacy in-process path).  See :mod:`repro.engine.metrics`.
+    engine_report: Optional[dict] = None
 
     def headline_comparisons(self) -> list[Comparison]:
         """The paper's headline fractions next to this run's."""
@@ -140,25 +143,20 @@ class StudyResults:
         return "\n\n".join(sections)
 
 
-def run_full_study(
-    world: Optional[World] = None,
-    config: Optional[WorldConfig] = None,
-    seed: int = 1000,
+def assemble_results(
+    world: World,
+    dns: DnsDataset,
+    http: HttpDataset,
+    https: HttpsDataset,
+    monitoring: MonitoringDataset,
 ) -> StudyResults:
-    """Run all four experiments and every analysis; return the bundle.
+    """Run every analysis over already-collected datasets.
 
-    Pass an existing ``world`` to reuse one, or a ``config`` (default: 2%
-    scale) to build one.
+    Shared by the legacy in-process path and the engine: however the
+    datasets were gathered (adaptive crawl, sharded plan execution, or a
+    checkpoint resume), the analysis stage is one code path.
     """
-    if world is None:
-        world = build_world(config if config is not None else WorldConfig(scale=0.02))
     thresholds = AnalysisThresholds.for_scale(world.config.scale)
-
-    dns = DnsHijackExperiment(world, seed=seed + 1).run()
-    http = HttpModExperiment(world, seed=seed + 2).run()
-    https = HttpsMitmExperiment(world, seed=seed + 3).run()
-    monitoring = MonitoringExperiment(world, seed=seed + 4).run()
-
     classification = classify_dns_servers(dns, world.routeviews, world.orgmap, thresholds)
     return StudyResults(
         world=world,
@@ -174,9 +172,63 @@ def run_full_study(
     )
 
 
+def run_full_study(
+    world: Optional[World] = None,
+    config: Optional[WorldConfig] = None,
+    seed: int = 1000,
+    *,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> StudyResults:
+    """Run all four experiments and every analysis; return the bundle.
+
+    Pass an existing ``world`` to reuse one, or a ``config`` (default: 2%
+    scale) to build one.  Setting any of ``shards``/``workers``/
+    ``checkpoint``/``resume`` routes execution through the sharded engine
+    (:mod:`repro.engine`), which rebuilds worlds per shard and therefore
+    cannot accept a pre-built ``world``.
+    """
+    use_engine = (
+        shards is not None or workers is not None or checkpoint is not None or resume
+    )
+    if use_engine:
+        if world is not None:
+            raise ValueError(
+                "engine runs rebuild a private world per shard; "
+                "pass config=, not world="
+            )
+        # Imported lazily: repro.engine imports this module for the shared
+        # analysis stage, so a module-level import would be circular.
+        from repro.engine.study import StudySpec, run_study
+
+        spec = StudySpec(
+            config=config if config is not None else WorldConfig(scale=0.02),
+            seed=seed,
+            shards=shards if shards is not None else 1,
+            workers=workers if workers is not None else 1,
+        )
+        run = run_study(spec, checkpoint=checkpoint, resume=resume)
+        assert run.results is not None
+        run.results.engine_report = run.report.to_dict()
+        return run.results
+
+    if world is None:
+        world = build_world(config if config is not None else WorldConfig(scale=0.02))
+
+    dns = DnsHijackExperiment(world, seed=seed + 1).run()
+    http = HttpModExperiment(world, seed=seed + 2).run()
+    https = HttpsMitmExperiment(world, seed=seed + 3).run()
+    monitoring = MonitoringExperiment(world, seed=seed + 4).run()
+
+    return assemble_results(world, dns, http, https, monitoring)
+
+
 # Re-exported for discoverability alongside the study runner.
 __all__ = [
     "StudyResults",
+    "assemble_results",
     "run_full_study",
     "table4_isp_dns",
     "table7_image_compression",

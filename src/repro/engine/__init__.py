@@ -1,0 +1,76 @@
+"""Sharded, checkpointable, fault-tolerant measurement execution engine.
+
+The legacy experiments crawl one world serially.  This package turns a
+study into deterministic *shards* — stable-hash partitions of the iteration
+plan, each executed against its own world replay with a derived seed — and
+schedules them onto serial or process-backed workers, journalling completed
+shards so an interrupted run resumes where it stopped.  Merged results are
+bit-identical regardless of worker count, interleaving, or resume history.
+
+Entry points: :func:`run_study` (library), ``repro study`` (CLI), and
+:func:`repro.core.study.run_full_study` with engine keywords.
+"""
+
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+    RunManifest,
+)
+from repro.engine.executor import Executor, ProcessExecutor, SerialExecutor, make_executor
+from repro.engine.metrics import ExperimentTally, RunReport, ShardMetrics
+from repro.engine.retry import RetryPolicy
+from repro.engine.runner import ShardTask, execute_shard, measure_planned_node, run_shard
+from repro.engine.sharding import (
+    ShardSpec,
+    derive_seed,
+    make_shard_specs,
+    partition_plan,
+    partition_plans,
+    shard_of,
+    stable_digest,
+)
+from repro.engine.study import (
+    EngineRun,
+    StudySpec,
+    compute_plans,
+    dataset_summary,
+    merge_shard_results,
+    run_digest,
+    run_plan_serial,
+    run_study,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
+    "EngineRun",
+    "Executor",
+    "ExperimentTally",
+    "ProcessExecutor",
+    "RetryPolicy",
+    "RunManifest",
+    "RunReport",
+    "SerialExecutor",
+    "ShardMetrics",
+    "ShardSpec",
+    "ShardTask",
+    "StudySpec",
+    "compute_plans",
+    "dataset_summary",
+    "derive_seed",
+    "execute_shard",
+    "make_executor",
+    "make_shard_specs",
+    "measure_planned_node",
+    "merge_shard_results",
+    "partition_plan",
+    "partition_plans",
+    "run_digest",
+    "run_plan_serial",
+    "run_shard",
+    "run_study",
+    "shard_of",
+    "stable_digest",
+]

@@ -1,0 +1,78 @@
+"""Worker pools the engine schedules shards onto.
+
+Two implementations sit behind one :class:`Executor` protocol: a serial
+in-process loop and a ``concurrent.futures`` process pool.  Both yield shard
+*results* (JSON-able dicts carrying their own shard index), so callers merge
+by index and never depend on completion order — the property the equivalence
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterator, Protocol, Sequence, TypeVar
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+class Executor(Protocol):
+    """Anything that can map a pure task function over a batch of tasks."""
+
+    def run(
+        self,
+        tasks: Sequence[TaskT],
+        fn: Callable[[TaskT], ResultT],
+    ) -> Iterator[ResultT]:
+        """Yield one result per task, in any order."""
+        ...
+
+
+class SerialExecutor:
+    """Runs every task in the calling process, in submission order."""
+
+    def run(
+        self,
+        tasks: Sequence[TaskT],
+        fn: Callable[[TaskT], ResultT],
+    ) -> Iterator[ResultT]:
+        """Yield ``fn(task)`` for each task as soon as it completes."""
+        for task in tasks:
+            yield fn(task)
+
+
+class ProcessExecutor:
+    """Fans tasks out to worker processes; yields results as they complete.
+
+    ``fn`` must be a module-level function and each task picklable.  Because
+    every shard result is a pure function of its task, completion order —
+    which *does* vary with scheduling — carries no information; callers
+    re-order by shard index.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        self.workers = workers
+
+    def run(
+        self,
+        tasks: Sequence[TaskT],
+        fn: Callable[[TaskT], ResultT],
+    ) -> Iterator[ResultT]:
+        """Yield each task's result in completion order."""
+        if not tasks:
+            return
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+            pending = {pool.submit(fn, task) for task in tasks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+
+def make_executor(workers: int) -> Executor:
+    """The executor matching a ``--workers`` setting."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers)

@@ -1,0 +1,206 @@
+"""Plan-driven adapters around the four experiment implementations.
+
+The legacy experiments crawl adaptively: they ask Luminati for *some* node in
+a country and decide afterwards whether to keep it.  The engine inverts
+control — it already knows exactly which nodes a shard must measure — so each
+adapter here drives the same ``measure_once``-style primitives at one
+*specific* node (via session pinning) and classifies every attempt as
+
+* ``ATTEMPT_OK`` — the planned node was measured and its record kept;
+* ``ATTEMPT_RETRY`` — transient churn (no node answered, a session failover
+  landed elsewhere, or the node disappeared mid-scan); worth retrying;
+* ``ATTEMPT_SKIP`` — a terminal, per-node methodology verdict (the §4
+  footnote-8 Google-resolver overlap); retrying cannot change it.
+
+Adapters accumulate records internally; :meth:`finish` returns the shard's
+dataset for its slice of the plan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Union
+
+from repro.core.experiments.dns_hijack import DnsDataset, DnsHijackExperiment
+from repro.core.experiments.http_mod import HttpDataset, HttpModExperiment
+from repro.core.experiments.https_mitm import HttpsDataset, HttpsMitmExperiment
+from repro.core.experiments.monitoring import MonitoringDataset, MonitoringExperiment
+from repro.sim.world import World
+
+ATTEMPT_OK = "ok"
+ATTEMPT_RETRY = "retry"
+ATTEMPT_SKIP = "skip"
+
+#: Canonical execution order within a shard — part of the run's determinism
+#: contract, so it is fixed here rather than left to dict ordering.
+EXPERIMENT_ORDER = ("dns", "http", "https", "monitoring")
+
+Dataset = Union[DnsDataset, HttpDataset, HttpsDataset, MonitoringDataset]
+
+
+class PlanAdapter(Protocol):
+    """One experiment, driven node-by-node from a precomputed plan."""
+
+    name: str
+
+    def next_session(self) -> str:
+        """A fresh session label (pinned to the target before each attempt)."""
+        ...
+
+    def attempt(self, zid: str, country: str, session: str) -> str:
+        """One measurement attempt at the planned node; an ``ATTEMPT_*`` verdict."""
+        ...
+
+    def finish(self) -> Dataset:
+        """Close out the shard's slice and return its dataset."""
+        ...
+
+
+class _AdapterBase:
+    """Session minting and probe accounting shared by all adapters."""
+
+    def __init__(self, experiment) -> None:
+        self._experiment = experiment
+        self._probes = 0
+
+    def next_session(self) -> str:
+        return self._experiment.controller.next_session()
+
+    def _count_probe(self) -> None:
+        self._probes += 1
+
+
+class DnsPlanAdapter(_AdapterBase):
+    """§4 NXDOMAIN hijacking, plan-driven."""
+
+    name = "dns"
+
+    def __init__(self, world: World, seed: int) -> None:
+        super().__init__(DnsHijackExperiment(world, seed=seed))
+        self._dataset = DnsDataset()
+
+    def attempt(self, zid: str, country: str, session: str) -> str:
+        self._count_probe()
+        got, record, filtered = self._experiment.measure_once(country, session)
+        if got != zid:
+            return ATTEMPT_RETRY
+        if filtered:
+            self._dataset.filtered_google_overlap += 1
+            return ATTEMPT_SKIP
+        if record is None:
+            return ATTEMPT_RETRY
+        self._dataset.records.append(record)
+        return ATTEMPT_OK
+
+    def finish(self) -> DnsDataset:
+        self._dataset.probes = self._probes
+        self._dataset.unique_dns_servers = len(
+            {r.dns_server_ip for r in self._dataset.records}
+        )
+        return self._dataset
+
+
+class HttpPlanAdapter(_AdapterBase):
+    """§5 content modification, plan-driven.
+
+    The 3-per-AS sampling economics are disabled
+    (``apply_sampling_policy=False``): the plan already fixes coverage, and a
+    shard-local AS tally would depend on how the pool was split.
+    """
+
+    name = "http"
+
+    def __init__(self, world: World, seed: int) -> None:
+        super().__init__(HttpModExperiment(world, seed=seed))
+        self._dataset = HttpDataset()
+
+    def attempt(self, zid: str, country: str, session: str) -> str:
+        self._count_probe()
+        got, record = self._experiment.measure_once(
+            country, session, apply_sampling_policy=False
+        )
+        if got != zid or record is None:
+            return ATTEMPT_RETRY
+        self._dataset.records.append(record)
+        return ATTEMPT_OK
+
+    def finish(self) -> HttpDataset:
+        self._dataset.probes = self._probes
+        self._dataset.flagged_ases = self._experiment.flagged_ases
+        return self._dataset
+
+
+class HttpsPlanAdapter(_AdapterBase):
+    """§6 certificate replacement, plan-driven."""
+
+    name = "https"
+
+    def __init__(self, world: World, seed: int) -> None:
+        super().__init__(HttpsMitmExperiment(world, seed=seed))
+        self._dataset = HttpsDataset()
+
+    def attempt(self, zid: str, country: str, session: str) -> str:
+        self._count_probe()
+        got, record = self._experiment.measure_once(country, session)
+        if got != zid or record is None:
+            return ATTEMPT_RETRY
+        self._dataset.records.append(record)
+        return ATTEMPT_OK
+
+    def finish(self) -> HttpsDataset:
+        self._dataset.probes = self._probes
+        return self._dataset
+
+
+class MonitoringPlanAdapter(_AdapterBase):
+    """§7 content monitoring, plan-driven.
+
+    Probes accumulate in the experiment's pending set; :meth:`finish` waits
+    out the 24-hour watch window once for the whole shard and resolves every
+    probe's access log.
+    """
+
+    name = "monitoring"
+
+    def __init__(self, world: World, seed: int) -> None:
+        super().__init__(MonitoringExperiment(world, seed=seed))
+        self._dataset = MonitoringDataset()
+
+    def attempt(self, zid: str, country: str, session: str) -> str:
+        self._count_probe()
+        got = self._experiment.probe_once(country, session, only_zid=zid)
+        if got != zid:
+            return ATTEMPT_RETRY
+        return ATTEMPT_OK
+
+    def finish(self) -> MonitoringDataset:
+        self._dataset.records.extend(self._experiment.resolve_pending())
+        self._dataset.probes = self._probes
+        return self._dataset
+
+
+_ADAPTERS = {
+    "dns": DnsPlanAdapter,
+    "http": HttpPlanAdapter,
+    "https": HttpsPlanAdapter,
+    "monitoring": MonitoringPlanAdapter,
+}
+
+
+def make_adapter(name: str, world: World, seed: int) -> PlanAdapter:
+    """The plan adapter for one experiment name."""
+    try:
+        factory = _ADAPTERS[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment: {name!r}") from None
+    return factory(world, seed)
+
+
+def empty_dataset(name: str) -> Optional[Dataset]:
+    """A zero-record dataset of the experiment's kind (for empty merges)."""
+    types = {
+        "dns": DnsDataset,
+        "http": HttpDataset,
+        "https": HttpsDataset,
+        "monitoring": MonitoringDataset,
+    }
+    return types[name]() if name in types else None

@@ -1,0 +1,166 @@
+"""Run-level metrics: per-shard throughput, retries, failures, progress.
+
+Every number here is either a count or derived from *simulated* time (the
+shard world's :class:`~repro.net.clock.SimClock` reading when the shard
+finished) — never the wall clock — so metrics are as reproducible as the
+datasets themselves.  :meth:`RunReport.to_json` emits canonical JSON (sorted
+keys, fixed separators): byte-identical across runs, worker counts, and
+resumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTally:
+    """One experiment's outcome counts within one shard."""
+
+    planned: int = 0
+    measured: int = 0
+    skipped: int = 0
+    failed: int = 0
+    retries: int = 0
+    probes: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-able form."""
+        return {
+            "planned": self.planned,
+            "measured": self.measured,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "retries": self.retries,
+            "probes": self.probes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentTally":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclass
+class ShardMetrics:
+    """Everything one shard reports about its own execution."""
+
+    index: int
+    sim_seconds: float = 0.0
+    #: Simulated GB the shard's Luminati client moved (ethics-cap context).
+    traffic_gb: float = 0.0
+    experiments: dict[str, ExperimentTally] = field(default_factory=dict)
+
+    @property
+    def planned(self) -> int:
+        """Planned measurements across the shard's experiments."""
+        return sum(t.planned for t in self.experiments.values())
+
+    @property
+    def measured(self) -> int:
+        """Successfully measured nodes."""
+        return sum(t.measured for t in self.experiments.values())
+
+    @property
+    def skipped(self) -> int:
+        """Terminal per-node skips (e.g. §4 footnote-8 filtering)."""
+        return sum(t.skipped for t in self.experiments.values())
+
+    @property
+    def failed(self) -> int:
+        """Nodes that exhausted their retry budget."""
+        return sum(t.failed for t in self.experiments.values())
+
+    @property
+    def retries(self) -> int:
+        """Re-attempts beyond each node's first try."""
+        return sum(t.retries for t in self.experiments.values())
+
+    @property
+    def throughput_per_hour(self) -> float:
+        """Measured nodes per simulated hour."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return round(self.measured / (self.sim_seconds / 3600.0), 6)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (stored in checkpoint shard lines)."""
+        return {
+            "index": self.index,
+            "sim_seconds": self.sim_seconds,
+            "traffic_gb": self.traffic_gb,
+            "planned": self.planned,
+            "measured": self.measured,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "retries": self.retries,
+            "throughput_per_hour": self.throughput_per_hour,
+            "experiments": {
+                name: tally.to_dict() for name, tally in sorted(self.experiments.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardMetrics":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        return cls(
+            index=payload["index"],
+            sim_seconds=payload["sim_seconds"],
+            traffic_gb=payload.get("traffic_gb", 0.0),
+            experiments={
+                name: ExperimentTally.from_dict(tally)
+                for name, tally in payload["experiments"].items()
+            },
+        )
+
+
+@dataclass
+class RunReport:
+    """The whole run's execution story, shard by shard."""
+
+    shard_count: int
+    worker_count: int
+    shards: list[ShardMetrics] = field(default_factory=list)
+    #: How many shards were loaded from the checkpoint instead of executed.
+    resumed_shards: int = 0
+
+    @property
+    def completed_shards(self) -> int:
+        """Shards with results (executed or resumed)."""
+        return len(self.shards)
+
+    @property
+    def progress(self) -> float:
+        """Completed fraction of the run, 0.0-1.0."""
+        if self.shard_count <= 0:
+            return 0.0
+        return round(self.completed_shards / self.shard_count, 6)
+
+    def to_dict(self) -> dict:
+        """JSON-able form; shards listed in index order regardless of
+        completion order, so the report is scheduling-independent."""
+        ordered = sorted(self.shards, key=lambda m: m.index)
+        return {
+            "shard_count": self.shard_count,
+            "worker_count": self.worker_count,
+            "completed_shards": self.completed_shards,
+            "resumed_shards": self.resumed_shards,
+            "progress": self.progress,
+            "planned": sum(m.planned for m in ordered),
+            "measured": sum(m.measured for m in ordered),
+            "skipped": sum(m.skipped for m in ordered),
+            "failed": sum(m.failed for m in ordered),
+            "retries": sum(m.retries for m in ordered),
+            "traffic_gb": round(sum(m.traffic_gb for m in ordered), 9),
+            "shards": [m.to_dict() for m in ordered],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: stable across runs, workers, and resumes.
+
+        ``worker_count`` is the one field that legitimately varies between
+        otherwise-identical runs; callers comparing reports for equality
+        should compare :meth:`to_dict` minus that key.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,142 @@
+"""Shard execution: a private world replay per shard.
+
+The determinism contract — results bit-identical regardless of worker count
+or interleaving — holds because a shard never shares mutable state with its
+siblings.  Each shard rebuilds the *entire* world from the same
+``(WorldConfig, countries)`` pair (deterministic by construction), then
+measures only the plan slice it owns, pinning each planned node via a
+Luminati session before every attempt.  A shard's result is therefore a pure
+function of its task, and the executor that ran it is unobservable.
+
+:func:`execute_shard` is the module-level entry point handed to executors:
+it takes a picklable :class:`ShardTask` and returns a JSON-able dict, the
+common currency of process transport, checkpoint journals, and merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.export import dataset_to_dict
+from repro.engine.experiments import (
+    ATTEMPT_OK,
+    ATTEMPT_RETRY,
+    ATTEMPT_SKIP,
+    Dataset,
+    PlanAdapter,
+    make_adapter,
+)
+from repro.engine.metrics import ExperimentTally, ShardMetrics
+from repro.engine.retry import RetryPolicy
+from repro.engine.sharding import ShardSpec, derive_seed
+from repro.sim import World, WorldConfig, build_world
+from repro.sim.profiles import CountrySpec
+
+#: Outcome label for a node that exhausted its retry budget.
+NODE_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to execute one shard, picklable.
+
+    ``plans`` is an ordered tuple of ``(experiment, zids)`` pairs; the order
+    is the shard's execution order and part of the determinism contract.
+    """
+
+    config: WorldConfig
+    countries: Optional[tuple[CountrySpec, ...]]
+    spec: ShardSpec
+    plans: tuple[tuple[str, tuple[str, ...]], ...]
+    retry: RetryPolicy
+
+
+def measure_planned_node(
+    world: World,
+    adapter: PlanAdapter,
+    zid: str,
+    country: str,
+    retry: RetryPolicy,
+) -> tuple[str, int]:
+    """Drive one planned node to a terminal outcome.
+
+    Before every attempt a fresh session is pinned to the target, because
+    backoff can outlive the super proxy's session window and an unpinned
+    retry would land on an arbitrary node.  Waits between attempts advance
+    the shard's simulated clock, never the wall clock.
+
+    Returns ``(outcome, attempts)`` with outcome one of ``ATTEMPT_OK``,
+    ``ATTEMPT_SKIP``, or ``NODE_FAILED``.
+    """
+    delays = retry.delays()
+    attempts = 0
+    while True:
+        attempts += 1
+        session = adapter.next_session()
+        world.superproxy.pin_session(session, zid)
+        verdict = adapter.attempt(zid, country, session)
+        if verdict != ATTEMPT_RETRY:
+            return verdict, attempts
+        delay = next(delays, None)
+        if delay is None:
+            return NODE_FAILED, attempts
+        world.internet.advance(delay)
+
+
+def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics]:
+    """Execute one shard against its private world replay."""
+    world = build_world(task.config, task.countries)
+    zid_country = {
+        zid: country
+        for country, zids in world.registry.zids_by_country().items()
+        for zid in zids
+    }
+
+    datasets: dict[str, Dataset] = {}
+    metrics = ShardMetrics(index=task.spec.index)
+    for name, plan in task.plans:
+        adapter = make_adapter(name, world, derive_seed(task.spec.seed, name))
+        tally = ExperimentTally(planned=len(plan))
+        for zid in plan:
+            country = zid_country.get(zid)
+            if country is None:
+                # The plan references a node this world replay does not
+                # know — only possible with a corrupted plan; count it as a
+                # failure rather than crash the shard.
+                tally.failed += 1
+                continue
+            outcome, attempts = measure_planned_node(
+                world, adapter, zid, country, task.retry
+            )
+            tally.probes += attempts
+            tally.retries += attempts - 1
+            if outcome == ATTEMPT_OK:
+                tally.measured += 1
+            elif outcome == ATTEMPT_SKIP:
+                tally.skipped += 1
+            else:
+                tally.failed += 1
+        datasets[name] = adapter.finish()
+        metrics.experiments[name] = tally
+
+    metrics.sim_seconds = world.internet.clock.now
+    metrics.traffic_gb = world.client.ledger.total_gb
+    return datasets, metrics
+
+
+def execute_shard(task: ShardTask) -> dict:
+    """Module-level executor entry point: JSON-able shard result.
+
+    The returned dict is exactly what the checkpoint journal stores, so a
+    resumed shard and a freshly executed one are indistinguishable.
+    """
+    datasets, metrics = run_shard(task)
+    return {
+        "kind": "shard",
+        "index": task.spec.index,
+        "datasets": {
+            name: dataset_to_dict(dataset) for name, dataset in datasets.items()
+        },
+        "metrics": metrics.to_dict(),
+    }

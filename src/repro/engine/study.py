@@ -1,0 +1,302 @@
+"""The engine's front door: plan, shard, execute, checkpoint, merge, analyse.
+
+A study run is four deterministic stages:
+
+1. **Plan** — a coordinator world (never measured, only consulted) yields
+   the pool layout; :meth:`CrawlController.iteration_plan` replays the
+   paper's crawl schedule as a pure function, giving each experiment an
+   ordered zID list.
+2. **Shard** — the plans are split by stable zID hash
+   (:mod:`repro.engine.sharding`); each shard gets a derived seed.
+3. **Execute** — shards run on an :class:`~repro.engine.executor.Executor`
+   (serial or process pool), each against a private world replay
+   (:mod:`repro.engine.runner`), journalling results as they complete
+   (:mod:`repro.engine.checkpoint`).
+4. **Merge + analyse** — shard datasets concatenate in shard-index order
+   (never completion order), then flow into the same analysis stage the
+   legacy path uses.
+
+Because stages 1, 2, and each shard of 3 are pure functions of the spec,
+the merged output is bit-identical for any worker count, interleaving, or
+crash/resume history — the property :func:`dataset_summary` lets tests (and
+users) assert cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Mapping, Optional
+
+from repro.core.crawler import DEFAULT_STOP_THRESHOLD, DEFAULT_WINDOW, CrawlController
+from repro.core.export import dataset_from_dict, dataset_to_dict
+from repro.core.study import StudyResults, assemble_results
+from repro.engine.checkpoint import CheckpointJournal, RunManifest
+from repro.engine.executor import Executor, make_executor
+from repro.engine.experiments import EXPERIMENT_ORDER, Dataset, empty_dataset
+from repro.engine.metrics import RunReport, ShardMetrics
+from repro.engine.retry import RetryPolicy
+from repro.engine.runner import ShardTask, execute_shard, run_shard
+from repro.engine.sharding import (
+    derive_seed,
+    make_shard_specs,
+    partition_plans,
+    stable_digest,
+)
+from repro.sim import World, WorldConfig, build_world
+from repro.sim.profiles import CountrySpec
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """Everything that determines a study run's output.
+
+    Two specs that differ only in ``workers`` produce byte-identical
+    results; every other field participates in the run digest.
+    """
+
+    config: WorldConfig
+    countries: Optional[tuple[CountrySpec, ...]] = None
+    seed: int = 1000
+    shards: int = 4
+    workers: int = 1
+    retry: RetryPolicy = RetryPolicy()
+    #: Crawl-plan stopping rule (see :meth:`CrawlController.iteration_plan`).
+    window: int = DEFAULT_WINDOW
+    stop_threshold: float = DEFAULT_STOP_THRESHOLD
+    max_probes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1: {self.shards}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
+
+
+@dataclass
+class EngineRun:
+    """One engine run's full output."""
+
+    spec: StudySpec
+    digest: str
+    plans: dict[str, tuple[str, ...]]
+    datasets: dict[str, Dataset]
+    report: RunReport
+    results: Optional[StudyResults] = None
+
+    def dataset_summary(self) -> str:
+        """Canonical summary of this run's datasets (see module function)."""
+        return dataset_summary(self.datasets)
+
+    def metrics_json(self) -> str:
+        """The run-level metrics as stable JSON."""
+        return self.report.to_json()
+
+
+def compute_plans(world: World, spec: StudySpec) -> dict[str, tuple[str, ...]]:
+    """Each experiment's ordered zID plan, derived from the coordinator world.
+
+    The HTTPS plan is restricted to countries with Alexa rankings (§6.2),
+    mirroring the legacy experiment's country filter.
+    """
+    pools = world.registry.zids_by_country()
+    plans: dict[str, tuple[str, ...]] = {}
+    for name in EXPERIMENT_ORDER:
+        country_filter = sorted(world.popular_sites) if name == "https" else None
+        plans[name] = CrawlController.iteration_plan(
+            pools,
+            derive_seed(spec.seed, "plan", name),
+            country_filter=country_filter,
+            window=spec.window,
+            stop_threshold=spec.stop_threshold,
+            max_probes=spec.max_probes,
+        )
+    return plans
+
+
+def run_digest(spec: StudySpec, plans: Mapping[str, tuple[str, ...]]) -> str:
+    """The identity of a run: every parameter that shapes its output.
+
+    ``workers`` is deliberately excluded — a checkpoint written with four
+    workers is perfectly resumable with one, and vice versa.
+    """
+    return stable_digest(
+        "engine-run-v1",
+        sorted(asdict(spec.config).items()),
+        spec.countries,
+        spec.seed,
+        spec.shards,
+        sorted(spec.retry.to_dict().items()),
+        spec.window,
+        spec.stop_threshold,
+        spec.max_probes,
+        tuple((name, plans[name]) for name in EXPERIMENT_ORDER),
+    )
+
+
+def merge_shard_results(results_by_index: Mapping[int, dict]) -> dict[str, Dataset]:
+    """Concatenate shard datasets in shard-index order.
+
+    Cross-shard header fields that cannot be summed (the §4 unique-resolver
+    count) are recomputed over the merged records.
+    """
+    datasets: dict[str, Dataset] = {}
+    for name in EXPERIMENT_ORDER:
+        merged = empty_dataset(name)
+        assert merged is not None
+        for index in sorted(results_by_index):
+            payload = results_by_index[index]["datasets"].get(name)
+            if payload is None:
+                continue
+            part = dataset_from_dict(payload)
+            merged.records.extend(part.records)  # type: ignore[arg-type]
+            merged.probes += part.probes
+            if name == "dns":
+                merged.filtered_google_overlap += part.filtered_google_overlap  # type: ignore[union-attr]
+            elif name == "http":
+                merged.flagged_ases |= part.flagged_ases  # type: ignore[union-attr]
+        if name == "dns":
+            merged.unique_dns_servers = len(  # type: ignore[union-attr]
+                {r.dns_server_ip for r in merged.records}  # type: ignore[union-attr]
+            )
+        datasets[name] = merged
+    return datasets
+
+
+def dataset_summary(datasets: Mapping[str, Dataset]) -> str:
+    """Canonical JSON over a run's datasets, for byte-level comparison.
+
+    Records are sorted by zID within each experiment: shard-index merge
+    order and plan order both reach the same sorted form, so two runs are
+    equivalent iff their summaries are byte-identical.
+    """
+    payload = {}
+    for name in sorted(datasets):
+        encoded = dataset_to_dict(datasets[name])
+        encoded["records"] = sorted(encoded["records"], key=lambda row: row["zid"])
+        payload[name] = encoded
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def run_study(
+    spec: StudySpec,
+    *,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    executor: Optional[Executor] = None,
+    world: Optional[World] = None,
+    analyses: bool = True,
+) -> EngineRun:
+    """Execute one study run end to end.
+
+    ``world`` optionally supplies the coordinator world (tests reuse one to
+    avoid rebuilding; it must match ``spec.config``/``spec.countries``).
+    ``analyses=False`` skips the analysis stage and leaves
+    :attr:`EngineRun.results` as ``None`` — raw-dataset comparisons don't
+    need tables.
+    """
+    coordinator = world if world is not None else build_world(spec.config, spec.countries)
+    plans = compute_plans(coordinator, spec)
+    digest = run_digest(spec, plans)
+    shard_specs = make_shard_specs(spec.seed, spec.shards)
+    shard_plans = partition_plans(plans, spec.shards)
+
+    journal: Optional[CheckpointJournal] = None
+    completed: dict[int, dict] = {}
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
+        if resume:
+            manifest, completed = journal.verify_manifest(digest)
+            journal.rewrite(manifest, completed)
+        else:
+            journal.start(
+                RunManifest(
+                    digest=digest,
+                    seed=spec.seed,
+                    shards=spec.shards,
+                    config=asdict(spec.config),
+                    plan_sizes={name: len(plans[name]) for name in EXPERIMENT_ORDER},
+                    retry=spec.retry.to_dict(),
+                )
+            )
+    elif resume:
+        raise ValueError("resume requires a checkpoint path")
+
+    tasks = [
+        ShardTask(
+            config=spec.config,
+            countries=spec.countries,
+            spec=shard_spec,
+            plans=tuple(
+                (name, shard_plans[shard_spec.index][name]) for name in EXPERIMENT_ORDER
+            ),
+            retry=spec.retry,
+        )
+        for shard_spec in shard_specs
+        if shard_spec.index not in completed
+    ]
+
+    report = RunReport(
+        shard_count=spec.shards,
+        worker_count=spec.workers,
+        resumed_shards=len(completed),
+    )
+    pool = executor if executor is not None else make_executor(spec.workers)
+    for result in pool.run(tasks, execute_shard):
+        completed[result["index"]] = result
+        if journal is not None:
+            journal.append_shard(result)
+
+    report.shards = [
+        ShardMetrics.from_dict(completed[index]["metrics"]) for index in sorted(completed)
+    ]
+    datasets = merge_shard_results(completed)
+
+    run = EngineRun(spec=spec, digest=digest, plans=plans, datasets=datasets, report=report)
+    if analyses:
+        run.results = assemble_results(
+            coordinator,
+            datasets["dns"],  # type: ignore[arg-type]
+            datasets["http"],  # type: ignore[arg-type]
+            datasets["https"],  # type: ignore[arg-type]
+            datasets["monitoring"],  # type: ignore[arg-type]
+        )
+        run.results.engine_report = report.to_dict()
+    return run
+
+
+def run_plan_serial(
+    spec: StudySpec, *, world: Optional[World] = None
+) -> dict[str, Dataset]:
+    """The un-sharded, executor-free serial path over the full plan.
+
+    Exists as the engine-independent reference implementation: one world,
+    one pass, plan order — equivalent by construction to what the sharded
+    engine must reproduce.  The equivalence tests compare its datasets
+    byte-for-byte against engine runs.
+    """
+    serial = StudySpec(
+        config=spec.config,
+        countries=spec.countries,
+        seed=spec.seed,
+        shards=1,
+        workers=1,
+        retry=spec.retry,
+        window=spec.window,
+        stop_threshold=spec.stop_threshold,
+        max_probes=spec.max_probes,
+    )
+    coordinator = (
+        world if world is not None else build_world(serial.config, serial.countries)
+    )
+    plans = compute_plans(coordinator, serial)
+    (shard_spec,) = make_shard_specs(serial.seed, 1)
+    task = ShardTask(
+        config=serial.config,
+        countries=serial.countries,
+        spec=shard_spec,
+        plans=tuple((name, plans[name]) for name in EXPERIMENT_ORDER),
+        retry=serial.retry,
+    )
+    datasets, _metrics = run_shard(task)
+    return datasets

@@ -93,6 +93,19 @@ class ExitNodeRegistry:
         """Node counts per country — what Luminati 'reports' to clients (§3.2)."""
         return {country: len(pool.nodes) for country, pool in self._pools.items()}
 
+    def zids_by_country(self) -> dict[str, tuple[str, ...]]:
+        """Every registered zID, grouped by country, in registration order.
+
+        The real service never exposes this (§3.2) — it exists for the
+        execution engine, which shards the simulated pool directly instead of
+        rediscovering it probe by probe.  Registration order is deterministic
+        (world building is seeded), so the result is too.
+        """
+        return {
+            country: tuple(node.zid for node in pool.nodes)
+            for country, pool in self._pools.items()
+        }
+
     def _rebuild_weights(self) -> None:
         self._country_names = []
         self._country_cumweights = []

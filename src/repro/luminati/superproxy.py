@@ -135,6 +135,21 @@ class SuperProxy:
         """The exit-node pool this super proxy selects from."""
         return self._registry
 
+    def pin_session(self, session: str, zid: str) -> None:
+        """Bind a session to a specific exit node ahead of any request.
+
+        The real service only pins a session to whatever node it happened to
+        select first; the execution engine replays a precomputed iteration
+        plan, so it pins each planned node explicitly and then speaks the
+        ordinary session-pinned request path.  The binding is subject to the
+        normal session-window expiry and offline-drop behaviour — a pinned
+        node that churns away still produces a failover, which is exactly the
+        retry signal the engine consumes.
+        """
+        if self._registry.by_zid(zid) is None:
+            raise LookupError(f"cannot pin session to unknown zid {zid!r}")
+        self._sessions.bind(session, zid)
+
     # -- helpers ------------------------------------------------------------
 
     def _advance_time(self) -> None:

@@ -18,6 +18,12 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional
 
+# Serial source for *standalone* self-signed certificates only: process-wide,
+# so separately minted certs never collide.  CAs must NOT use it — they keep
+# per-instance counters, making every certificate a CA issues a deterministic
+# function of the CA's own issuance history.  That property lets the engine
+# rebuild a world in any process and obtain byte-identical certificates
+# (serials and derived key ids included).
 _serial_counter = itertools.count(1)
 
 
@@ -151,6 +157,9 @@ class CertificateAuthority:
         self.country = country
         self.key = key if key is not None else KeyPair.generate(common_name)
         self.parent = parent
+        # Per-CA issuance counter: serials depend only on this CA's own
+        # history, never on how many other certificates the process minted.
+        self._serials = itertools.count(1)
         signer = parent.key if parent is not None else self.key
         issuer_cn = parent.common_name if parent is not None else common_name
         self.certificate = Certificate(
@@ -160,7 +169,7 @@ class CertificateAuthority:
             signer_key_id=signer.key_id,
             not_before=0.0,
             not_after=self.DEFAULT_LIFETIME,
-            serial=next(_serial_counter),
+            serial=next(self._serials),
             is_ca=True,
             issuer_org=(parent.org if parent is not None else self.org),
             issuer_country=(parent.country if parent is not None else country),
@@ -175,8 +184,9 @@ class CertificateAuthority:
         is_ca: bool = False,
     ) -> Certificate:
         """Issue a certificate signed by this CA's key."""
+        serial = next(self._serials)
         key = subject_key if subject_key is not None else KeyPair.generate(
-            f"{self.common_name}/{subject_cn}/{next(_serial_counter)}"
+            f"{self.common_name}/{subject_cn}/{serial}"
         )
         return Certificate(
             subject_cn=subject_cn,
@@ -185,7 +195,7 @@ class CertificateAuthority:
             signer_key_id=self.key.key_id,
             not_before=not_before,
             not_after=not_after if not_after is not None else self.DEFAULT_LIFETIME,
-            serial=next(_serial_counter),
+            serial=serial,
             is_ca=is_ca,
             issuer_org=self.org,
             issuer_country=self.country,
