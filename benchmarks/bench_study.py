@@ -30,17 +30,27 @@ from repro.sim import WorldConfig
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
-#: The two benchmark sizes: scale 0.005 is a quick smoke (~4K hosts), scale
-#: 0.02 matches the default study configuration (~18K hosts).
+#: The benchmark points: scale 0.005 is a quick smoke (~4K hosts), scale
+#: 0.02 matches the default study configuration (~18K hosts), and the
+#: ``medium-chaos`` point reruns the medium world under the ``chaos`` fault
+#: profile so injection + validity-pipeline overhead stays visible.
 SIZES = (
-    ("small", 0.005),
-    ("medium", 0.02),
+    ("small", 0.005, "none"),
+    ("medium", 0.02, "none"),
+    ("medium-chaos", 0.02, "chaos"),
 )
 
 
-def bench_size(name: str, scale: float, shards: int, workers: int, repeats: int) -> dict:
+def bench_size(
+    name: str,
+    scale: float,
+    fault_profile: str,
+    shards: int,
+    workers: int,
+    repeats: int,
+) -> dict:
     """Benchmark one world size; return its result block."""
-    config = WorldConfig(scale=scale)
+    config = WorldConfig(scale=scale, fault_profile=fault_profile)
     spec = StudySpec(config=config, seed=1000, shards=shards, workers=workers)
     wall: list[float] = []
     run = None
@@ -53,8 +63,9 @@ def bench_size(name: str, scale: float, shards: int, workers: int, repeats: int)
     assert run is not None
     report = run.report.to_dict()
     summary_sha = hashlib.sha256(run.dataset_summary().encode("utf-8")).hexdigest()
-    return {
+    block = {
         "scale": scale,
+        "fault_profile": fault_profile,
         "shards": shards,
         "workers": workers,
         "seed": spec.seed,
@@ -74,6 +85,11 @@ def bench_size(name: str, scale: float, shards: int, workers: int, repeats: int)
             "mean": round(statistics.mean(wall), 3),
         },
     }
+    if fault_profile != "none":
+        block["invalid"] = report["invalid"]
+        block["failure_kinds"] = report["failure_kinds"]
+        block["quarantined_nodes"] = report["quarantined_nodes"]
+    return block
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,10 +104,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     payload: dict = {"benchmark": "engine-full-study", "sizes": {}}
-    for name, scale in SIZES:
-        print(f"benchmarking {name} (scale={scale}) ...", flush=True)
+    for name, scale, fault_profile in SIZES:
+        print(
+            f"benchmarking {name} (scale={scale}, faults={fault_profile}) ...",
+            flush=True,
+        )
         payload["sizes"][name] = bench_size(
-            name, scale, args.shards, args.workers, args.repeats
+            name, scale, fault_profile, args.shards, args.workers, args.repeats
         )
 
     out = pathlib.Path(args.out)

@@ -248,16 +248,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.engine import StudySpec, run_study
 
-    config = WorldConfig.from_env(scale=args.scale, seed=args.seed)
+    config = WorldConfig.from_env(
+        scale=args.scale,
+        seed=args.seed,
+        fault_profile=args.faults,
+        fault_seed=args.fault_seed,
+    )
     spec = StudySpec(
         config=config,
         seed=args.study_seed,
         shards=args.shards,
         workers=args.workers,
     )
+    faults_note = (
+        f" faults={config.fault_profile}/{config.fault_seed}"
+        if config.fault_profile != "none"
+        else ""
+    )
     print(
         f"engine study: scale={config.scale} seed={config.seed} "
         f"study-seed={spec.seed} shards={spec.shards} workers={spec.workers}"
+        + faults_note
         + (f" checkpoint={args.checkpoint}" + (" (resume)" if args.resume else "")
            if args.checkpoint else ""),
         flush=True,
@@ -275,6 +286,19 @@ def _cmd_study(args: argparse.Namespace) -> int:
         f"{sum(m.retries for m in report.shards):,} retries, "
         f"{sum(m.failed for m in report.shards):,} failures in {elapsed:.1f}s"
     )
+    kinds = report.to_dict()["failure_kinds"]
+    if kinds:
+        print("failure kinds: " + ", ".join(f"{k}={v}" for k, v in kinds.items()))
+    quarantined = {
+        zid: reason for m in report.shards for zid, reason in sorted(m.quarantine.items())
+    }
+    if quarantined:
+        shown = list(quarantined.items())[:10]
+        print(
+            f"quarantined nodes: {len(quarantined)} "
+            + "; ".join(f"{zid} ({reason})" for zid, reason in shown)
+            + (" ..." if len(quarantined) > len(shown) else "")
+        )
     if args.metrics:
         path = pathlib.Path(args.metrics)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -372,6 +396,15 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--study-seed", type=int, default=1000,
         help="seed for crawl plans and shard seed derivation (default 1000)",
+    )
+    study.add_argument(
+        "--faults", default="none", metavar="PROFILE",
+        help="fault-injection profile (none, mild, chaos; REPRO_FAULT_PROFILE "
+        "overrides; default none)",
+    )
+    study.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="extra seed folded into the fault plan (REPRO_FAULT_SEED overrides)",
     )
     study.add_argument("--metrics", help="write the run metrics JSON to this path")
 

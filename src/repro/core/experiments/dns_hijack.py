@@ -77,6 +77,9 @@ class DnsHijackExperiment:
     def __init__(self, world: World, seed: int = 41, max_probes: Optional[int] = None) -> None:
         self.world = world
         self.controller = CrawlController(world.client, seed=seed, max_probes=max_probes)
+        #: Taxonomy kind of the most recent failed measurement (validity
+        #: pipeline diagnostics); ``None`` after a success.
+        self.last_failure_kind: Optional[str] = None
         self._probe_counter = itertools.count(1)
         # Probe names embed the instance seed: two experiments sharing a
         # world must never mint the same domain, or their authoritative-log
@@ -116,7 +119,10 @@ class DnsHijackExperiment:
         second phases, or filtered nodes; ``filtered`` flags the footnote-8
         Google-overlap case.
         """
+        from repro.core.validity import classify_result
+
         world = self.world
+        self.last_failure_kind = None
         d1, d2 = self._prepare_domains()
 
         result1 = world.client.request(
@@ -124,6 +130,7 @@ class DnsHijackExperiment:
             dns_remote=True, tracer=tracer,
         )
         if not result1.success or result1.debug is None:
+            self.last_failure_kind = classify_result(result1)
             return None, None, False
         zid = result1.debug.zid
         if skip_zids is not None and zid in skip_zids:
@@ -153,12 +160,19 @@ class DnsHijackExperiment:
         )
         if result2.debug is None or result2.debug.zid != zid:
             # Session failover to a different node: discard the measurement.
+            self.last_failure_kind = "stale"
             return zid, None, False
         if result2.is_nxdomain:
             hijacked, page = False, b""
         elif result2.success:
+            if result2.truncated:
+                # A partial hijack landing page cannot be attributed; the
+                # measurement is invalid, not evidence either way.
+                self.last_failure_kind = "truncated"
+                return zid, None, False
             hijacked, page = True, result2.body
         else:
+            self.last_failure_kind = classify_result(result2)
             return zid, None, False
 
         asn = world.routeviews.ip_to_asn(exit_ip)

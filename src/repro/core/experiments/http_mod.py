@@ -105,6 +105,9 @@ class HttpModExperiment:
         self.revisit_cap = revisit_cap
         self._as_measured: dict[int, int] = {}
         self._flagged: set[int] = set()
+        #: Taxonomy kind of the most recent failed measurement (validity
+        #: pipeline diagnostics); ``None`` after a success.
+        self.last_failure_kind: Optional[str] = None
 
     @property
     def flagged_ases(self) -> set[int]:
@@ -146,8 +149,11 @@ class HttpModExperiment:
         engine) decides coverage up front, so the adaptive gate would only
         second-guess the plan.
         """
+        from repro.core.validity import classify_result
+
         world = self.world
         corpus = world.corpus
+        self.last_failure_kind = None
 
         # Identification probe: a ~100-byte page, NOT one of the corpus
         # objects.  Most probes land on nodes that will be skipped (repeats,
@@ -157,6 +163,7 @@ class HttpModExperiment:
             f"http://{OBJECTS_HOST}/", country=country, session=session
         )
         if not ident.success or ident.debug is None:
+            self.last_failure_kind = classify_result(ident)
             return None, None
         zid = ident.debug.zid
         if skip_zids is not None and zid in skip_zids:
@@ -183,6 +190,14 @@ class HttpModExperiment:
             result = self._fetch(kind, session, country)
             if not result.success or result.debug is None or result.debug.zid != zid:
                 fetched_all = False
+                self.last_failure_kind = classify_result(result) or "stale"
+                break
+            if result.truncated:
+                # A short read always differs from ground truth, but it is
+                # transport loss, not §5 content modification: the whole
+                # measurement is invalid and must be retried, never diffed.
+                fetched_all = False
+                self.last_failure_kind = "truncated"
                 break
             if corpus.is_modified(kind, result.body):
                 modified[kind] = result.body
@@ -201,6 +216,7 @@ class HttpModExperiment:
         second = world.client.request(dynamic_url, country=country, session=session)
         if (
             first.success and second.success
+            and not first.truncated and not second.truncated
             and first.debug is not None and first.debug.zid == zid
             and second.debug is not None and second.debug.zid == zid
         ):

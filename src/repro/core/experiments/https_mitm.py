@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.crawler import CrawlController
+from repro.faults import FaultError
 from repro.luminati.errors import NoPeersError
 from repro.sim.world import SiteRecord, World
 from repro.tlssim.certs import CertificateChain
@@ -106,6 +107,9 @@ class HttpsMitmExperiment:
             country_filter=sorted(world.popular_sites),
             max_probes=max_probes,
         )
+        #: Taxonomy kind of the most recent failed measurement (validity
+        #: pipeline diagnostics); ``None`` after a success.
+        self.last_failure_kind: Optional[str] = None
 
     # -- single handshake ----------------------------------------------------------
 
@@ -123,12 +127,21 @@ class HttpsMitmExperiment:
         try:
             tunnel = world.client.connect(site.ip, 443, country=country, session=session)
         except NoPeersError:
+            self.last_failure_kind = "stale"
             return None, None, None
         if expect_zid is not None and tunnel.zid != expect_zid:
+            self.last_failure_kind = "stale"
             return tunnel.zid, tunnel.exit_ip, None
         if tracer is not None:
             tracer.add("client", "CONNECT tunnel via exit node", "target server", site.domain)
-        chain: CertificateChain = tunnel.tls_handshake(site.domain)
+        try:
+            chain: CertificateChain = tunnel.tls_handshake(site.domain)
+        except FaultError as exc:
+            # The injected handshake failure (truncation, reset) ends this
+            # node's measurement; the engine retries through a fresh session.
+            self.last_failure_kind = exc.kind
+            tunnel.close()
+            return tunnel.zid, tunnel.exit_ip, None
         if tracer is not None:
             tracer.add("exit node", "fetch certificate", "target server", site.domain)
         tunnel.close()
@@ -163,6 +176,7 @@ class HttpsMitmExperiment:
     ) -> tuple[Optional[str], Optional[HttpsProbeRecord]]:
         """The two-phase scan of one exit node (Figure 3)."""
         world = self.world
+        self.last_failure_kind = None
         rng = self.controller.rng
         popular = world.popular_sites[country]
 

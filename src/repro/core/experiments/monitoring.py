@@ -95,6 +95,9 @@ class MonitoringExperiment:
     def __init__(self, world: World, seed: int = 74, max_probes: Optional[int] = None) -> None:
         self.world = world
         self.controller = CrawlController(world.client, seed=seed, max_probes=max_probes)
+        #: Taxonomy kind of the most recent failed probe (validity pipeline
+        #: diagnostics); ``None`` after a success.
+        self.last_failure_kind: Optional[str] = None
         self._probe_counter = itertools.count(1)
         # Instance-unique domain tag (see DnsHijackExperiment.__init__).
         self._tag = f"x{seed}"
@@ -117,6 +120,9 @@ class MonitoringExperiment:
         it to the pending set (plan-driven execution owns exactly its
         planned nodes and must not measure a neighbour shard's).
         """
+        from repro.core.validity import classify_result
+
+        self.last_failure_kind = None
         domain = f"m-{self._tag}-{next(self._probe_counter)}.{PROBE_ZONE}"
         if tracer is not None:
             tracer.add("client", "request unique domain", "super proxy", domain)
@@ -124,6 +130,7 @@ class MonitoringExperiment:
             f"http://{domain}/", country=country, session=session, tracer=tracer
         )
         if not result.success or result.debug is None:
+            self.last_failure_kind = classify_result(result)
             return None
         zid = result.debug.zid
         if skip_zids is not None and zid in skip_zids:

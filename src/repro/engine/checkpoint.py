@@ -45,6 +45,7 @@ class RunManifest:
     config: dict
     plan_sizes: dict[str, int] = field(default_factory=dict)
     retry: dict = field(default_factory=dict)
+    validity: dict = field(default_factory=dict)
     version: int = JOURNAL_VERSION
 
     def to_dict(self) -> dict:
@@ -58,6 +59,7 @@ class RunManifest:
             "config": self.config,
             "plan_sizes": self.plan_sizes,
             "retry": self.retry,
+            "validity": self.validity,
         }
 
     @classmethod
@@ -70,6 +72,7 @@ class RunManifest:
             config=payload["config"],
             plan_sizes=payload.get("plan_sizes", {}),
             retry=payload.get("retry", {}),
+            validity=payload.get("validity", {}),
             version=payload.get("version", JOURNAL_VERSION),
         )
 

@@ -11,9 +11,20 @@ adapter here drives the same ``measure_once``-style primitives at one
   landed elsewhere, or the node disappeared mid-scan); worth retrying;
 * ``ATTEMPT_SKIP`` — a terminal, per-node methodology verdict (the §4
   footnote-8 Google-resolver overlap); retrying cannot change it.
+* ``ATTEMPT_INVALID`` — the measurement completed but failed consensus
+  confirmation (see :class:`~repro.core.validity.ValidityPolicy`); the
+  record is discarded and the node is terminal for this plan entry.
 
 Adapters accumulate records internally; :meth:`finish` returns the shard's
 dataset for its slice of the plan.
+
+When the run's :class:`ValidityPolicy` demands confirmations, a successful
+measurement is repeated through fresh pinned sessions and its *violation
+signature* — the violation-relevant projection of the record, e.g. the set
+of modified object kinds for §5 — must agree before the record is kept.
+Signatures deliberately exclude per-probe artefacts (minted probe domains,
+randomly sampled site batteries), so honest repeat measurements agree and
+only genuinely unstable observations are rejected.
 """
 
 from __future__ import annotations
@@ -24,11 +35,18 @@ from repro.core.experiments.dns_hijack import DnsDataset, DnsHijackExperiment
 from repro.core.experiments.http_mod import HttpDataset, HttpModExperiment
 from repro.core.experiments.https_mitm import HttpsDataset, HttpsMitmExperiment
 from repro.core.experiments.monitoring import MonitoringDataset, MonitoringExperiment
+from repro.core.validity import ValidityPolicy
+from repro.faults import KIND_STALE
 from repro.sim.world import World
 
 ATTEMPT_OK = "ok"
 ATTEMPT_RETRY = "retry"
 ATTEMPT_SKIP = "skip"
+ATTEMPT_INVALID = "invalid"
+
+#: Bounded re-pins when a confirmation probe keeps landing on the wrong
+#: node; exhausting them retries the whole plan entry via the normal path.
+CONFIRM_LANDING_TRIES = 4
 
 #: Canonical execution order within a shard — part of the run's determinism
 #: contract, so it is fixed here rather than left to dict ordering.
@@ -41,6 +59,8 @@ class PlanAdapter(Protocol):
     """One experiment, driven node-by-node from a precomputed plan."""
 
     name: str
+    #: Taxonomy kind of the most recent non-OK attempt (``None`` otherwise).
+    last_failure_kind: Optional[str]
 
     def next_session(self) -> str:
         """A fresh session label (pinned to the target before each attempt)."""
@@ -56,11 +76,20 @@ class PlanAdapter(Protocol):
 
 
 class _AdapterBase:
-    """Session minting and probe accounting shared by all adapters."""
+    """Session minting, probe accounting, and consensus confirmation.
 
-    def __init__(self, experiment) -> None:
+    Subclasses implement ``_measure`` (one raw measurement, returning a
+    verdict and the would-be record *without* keeping it), ``_keep`` (commit
+    a record to the dataset), and ``_signature`` (the violation-relevant
+    projection confirmations must agree on).
+    """
+
+    def __init__(self, experiment, world: World, validity: ValidityPolicy) -> None:
         self._experiment = experiment
+        self._world = world
+        self._validity = validity
         self._probes = 0
+        self.last_failure_kind: Optional[str] = None
 
     def next_session(self) -> str:
         return self._experiment.controller.next_session()
@@ -68,28 +97,98 @@ class _AdapterBase:
     def _count_probe(self) -> None:
         self._probes += 1
 
+    # -- subclass hooks -----------------------------------------------------
+
+    def _measure(self, zid: str, country: str, session: str):
+        raise NotImplementedError
+
+    def _keep(self, record) -> None:
+        raise NotImplementedError
+
+    def _signature(self, record):
+        raise NotImplementedError
+
+    # -- the drive loop's entry point ---------------------------------------
+
+    def attempt(self, zid: str, country: str, session: str) -> str:
+        self.last_failure_kind = None
+        verdict, record = self._measure(zid, country, session)
+        if verdict != ATTEMPT_OK:
+            if verdict == ATTEMPT_RETRY:
+                self.last_failure_kind = (
+                    getattr(self._experiment, "last_failure_kind", None) or KIND_STALE
+                )
+            return verdict
+        if self._validity.confirmations > 0 and record is not None:
+            confirmed = self._confirm(zid, country, record)
+            if confirmed != ATTEMPT_OK:
+                return confirmed
+        if record is not None:
+            self._keep(record)
+        return ATTEMPT_OK
+
+    def _confirm(self, zid: str, country: str, reference) -> str:
+        """Repeat the measurement until the policy's consensus is met.
+
+        Disagreement on the violation signature is ``ATTEMPT_INVALID`` — the
+        defining defense: a violation is only flagged when independent
+        measurements of the same node agree on it.
+        """
+        want = self._signature(reference)
+        for _ in range(self._validity.confirmations):
+            verdict, record = self._confirm_measure(zid, country)
+            if verdict != ATTEMPT_OK:
+                return verdict
+            if self._signature(record) != want:
+                self.last_failure_kind = KIND_STALE
+                return ATTEMPT_INVALID
+        return ATTEMPT_OK
+
+    def _confirm_measure(self, zid: str, country: str):
+        """One confirmation probe, re-pinning through churn a bounded number
+        of times before giving up on this whole attempt."""
+        for _ in range(CONFIRM_LANDING_TRIES):
+            session = self.next_session()
+            self._world.superproxy.pin_session(session, zid)
+            verdict, record = self._measure(zid, country, session)
+            if verdict == ATTEMPT_RETRY:
+                continue
+            return verdict, record
+        self.last_failure_kind = (
+            getattr(self._experiment, "last_failure_kind", None) or KIND_STALE
+        )
+        return ATTEMPT_RETRY, None
+
 
 class DnsPlanAdapter(_AdapterBase):
     """§4 NXDOMAIN hijacking, plan-driven."""
 
     name = "dns"
 
-    def __init__(self, world: World, seed: int) -> None:
-        super().__init__(DnsHijackExperiment(world, seed=seed))
+    def __init__(self, world: World, seed: int, validity: ValidityPolicy) -> None:
+        super().__init__(DnsHijackExperiment(world, seed=seed), world, validity)
         self._dataset = DnsDataset()
 
-    def attempt(self, zid: str, country: str, session: str) -> str:
+    def _measure(self, zid: str, country: str, session: str):
         self._count_probe()
         got, record, filtered = self._experiment.measure_once(country, session)
         if got != zid:
-            return ATTEMPT_RETRY
+            return ATTEMPT_RETRY, None
         if filtered:
             self._dataset.filtered_google_overlap += 1
-            return ATTEMPT_SKIP
+            return ATTEMPT_SKIP, None
         if record is None:
-            return ATTEMPT_RETRY
+            return ATTEMPT_RETRY, None
+        return ATTEMPT_OK, record
+
+    def _keep(self, record) -> None:
         self._dataset.records.append(record)
-        return ATTEMPT_OK
+
+    def _signature(self, record):
+        # Probe domains are minted fresh per measurement, so the hijack
+        # landing page may embed different names; the hijack verdict itself
+        # is the stable observation.
+        return record.hijacked
 
     def finish(self) -> DnsDataset:
         self._dataset.probes = self._probes
@@ -109,19 +208,28 @@ class HttpPlanAdapter(_AdapterBase):
 
     name = "http"
 
-    def __init__(self, world: World, seed: int) -> None:
-        super().__init__(HttpModExperiment(world, seed=seed))
+    def __init__(self, world: World, seed: int, validity: ValidityPolicy) -> None:
+        super().__init__(HttpModExperiment(world, seed=seed), world, validity)
         self._dataset = HttpDataset()
 
-    def attempt(self, zid: str, country: str, session: str) -> str:
+    def _measure(self, zid: str, country: str, session: str):
         self._count_probe()
         got, record = self._experiment.measure_once(
             country, session, apply_sampling_policy=False
         )
         if got != zid or record is None:
-            return ATTEMPT_RETRY
+            return ATTEMPT_RETRY, None
+        return ATTEMPT_OK, record
+
+    def _keep(self, record) -> None:
         self._dataset.records.append(record)
-        return ATTEMPT_OK
+
+    def _signature(self, record):
+        return (
+            tuple(sorted(kind.name for kind in record.modified_bodies)),
+            record.via_token,
+            record.cached_dynamic,
+        )
 
     def finish(self) -> HttpDataset:
         self._dataset.probes = self._probes
@@ -134,17 +242,28 @@ class HttpsPlanAdapter(_AdapterBase):
 
     name = "https"
 
-    def __init__(self, world: World, seed: int) -> None:
-        super().__init__(HttpsMitmExperiment(world, seed=seed))
+    def __init__(self, world: World, seed: int, validity: ValidityPolicy) -> None:
+        super().__init__(HttpsMitmExperiment(world, seed=seed), world, validity)
         self._dataset = HttpsDataset()
 
-    def attempt(self, zid: str, country: str, session: str) -> str:
+    def _measure(self, zid: str, country: str, session: str):
         self._count_probe()
         got, record = self._experiment.measure_once(country, session)
         if got != zid or record is None:
-            return ATTEMPT_RETRY
+            return ATTEMPT_RETRY, None
+        return ATTEMPT_OK, record
+
+    def _keep(self, record) -> None:
         self._dataset.records.append(record)
-        return ATTEMPT_OK
+
+    def _signature(self, record):
+        # The initial three-site sample is drawn randomly per measurement, so
+        # honest scans of the same node cover different sites; what must
+        # agree is whether interception was seen and by which issuers.
+        return (
+            record.any_replaced,
+            tuple(sorted({site.issuer_cn for site in record.replaced_sites()})),
+        )
 
     def finish(self) -> HttpsDataset:
         self._dataset.probes = self._probes
@@ -156,19 +275,25 @@ class MonitoringPlanAdapter(_AdapterBase):
 
     Probes accumulate in the experiment's pending set; :meth:`finish` waits
     out the 24-hour watch window once for the whole shard and resolves every
-    probe's access log.
+    probe's access log.  Consensus confirmation does not apply: the
+    observation is asynchronous (whatever re-fetches the probe URL within 24
+    hours), so there is no per-attempt record to confirm.
     """
 
     name = "monitoring"
 
-    def __init__(self, world: World, seed: int) -> None:
-        super().__init__(MonitoringExperiment(world, seed=seed))
+    def __init__(self, world: World, seed: int, validity: ValidityPolicy) -> None:
+        super().__init__(MonitoringExperiment(world, seed=seed), world, validity)
         self._dataset = MonitoringDataset()
 
     def attempt(self, zid: str, country: str, session: str) -> str:
+        self.last_failure_kind = None
         self._count_probe()
         got = self._experiment.probe_once(country, session, only_zid=zid)
         if got != zid:
+            self.last_failure_kind = (
+                getattr(self._experiment, "last_failure_kind", None) or KIND_STALE
+            )
             return ATTEMPT_RETRY
         return ATTEMPT_OK
 
@@ -186,13 +311,18 @@ _ADAPTERS = {
 }
 
 
-def make_adapter(name: str, world: World, seed: int) -> PlanAdapter:
+def make_adapter(
+    name: str,
+    world: World,
+    seed: int,
+    validity: Optional[ValidityPolicy] = None,
+) -> PlanAdapter:
     """The plan adapter for one experiment name."""
     try:
         factory = _ADAPTERS[name]
     except KeyError:
         raise ValueError(f"unknown experiment: {name!r}") from None
-    return factory(world, seed)
+    return factory(world, seed, validity if validity is not None else ValidityPolicy())
 
 
 def empty_dataset(name: str) -> Optional[Dataset]:

@@ -22,8 +22,12 @@ class ExperimentTally:
     measured: int = 0
     skipped: int = 0
     failed: int = 0
+    #: Measurements rejected by consensus confirmation (validity pipeline).
+    invalid: int = 0
     retries: int = 0
     probes: int = 0
+    #: Terminal failure taxonomy: kind -> nodes that ended with that kind.
+    failure_kinds: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-able form."""
@@ -32,14 +36,21 @@ class ExperimentTally:
             "measured": self.measured,
             "skipped": self.skipped,
             "failed": self.failed,
+            "invalid": self.invalid,
             "retries": self.retries,
             "probes": self.probes,
+            "failure_kinds": {
+                kind: self.failure_kinds[kind] for kind in sorted(self.failure_kinds)
+            },
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentTally":
-        """Inverse of :meth:`to_dict`."""
-        return cls(**payload)
+        """Inverse of :meth:`to_dict` (tolerates pre-validity journals)."""
+        data = dict(payload)
+        data.setdefault("invalid", 0)
+        data["failure_kinds"] = dict(data.get("failure_kinds", {}))
+        return cls(**data)
 
 
 @dataclass
@@ -51,6 +62,9 @@ class ShardMetrics:
     #: Simulated GB the shard's Luminati client moved (ethics-cap context).
     traffic_gb: float = 0.0
     experiments: dict[str, ExperimentTally] = field(default_factory=dict)
+    #: zID -> reason for every node quarantined by the shard's circuit
+    #: breaker (e.g. ``"6x timeout"``).
+    quarantine: dict[str, str] = field(default_factory=dict)
 
     @property
     def planned(self) -> int:
@@ -73,9 +87,22 @@ class ShardMetrics:
         return sum(t.failed for t in self.experiments.values())
 
     @property
+    def invalid(self) -> int:
+        """Measurements rejected by consensus confirmation."""
+        return sum(t.invalid for t in self.experiments.values())
+
+    @property
     def retries(self) -> int:
         """Re-attempts beyond each node's first try."""
         return sum(t.retries for t in self.experiments.values())
+
+    def failure_kinds(self) -> dict[str, int]:
+        """Terminal failure taxonomy summed over experiments, sorted by kind."""
+        totals: dict[str, int] = {}
+        for tally in self.experiments.values():
+            for kind, count in tally.failure_kinds.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return {kind: totals[kind] for kind in sorted(totals)}
 
     @property
     def throughput_per_hour(self) -> float:
@@ -94,7 +121,10 @@ class ShardMetrics:
             "measured": self.measured,
             "skipped": self.skipped,
             "failed": self.failed,
+            "invalid": self.invalid,
             "retries": self.retries,
+            "failure_kinds": self.failure_kinds(),
+            "quarantine": {zid: self.quarantine[zid] for zid in sorted(self.quarantine)},
             "throughput_per_hour": self.throughput_per_hour,
             "experiments": {
                 name: tally.to_dict() for name, tally in sorted(self.experiments.items())
@@ -112,6 +142,7 @@ class ShardMetrics:
                 name: ExperimentTally.from_dict(tally)
                 for name, tally in payload["experiments"].items()
             },
+            quarantine=dict(payload.get("quarantine", {})),
         )
 
 
@@ -151,10 +182,21 @@ class RunReport:
             "measured": sum(m.measured for m in ordered),
             "skipped": sum(m.skipped for m in ordered),
             "failed": sum(m.failed for m in ordered),
+            "invalid": sum(m.invalid for m in ordered),
             "retries": sum(m.retries for m in ordered),
+            "failure_kinds": self._merged_failure_kinds(ordered),
+            "quarantined_nodes": sum(len(m.quarantine) for m in ordered),
             "traffic_gb": round(sum(m.traffic_gb for m in ordered), 9),
             "shards": [m.to_dict() for m in ordered],
         }
+
+    @staticmethod
+    def _merged_failure_kinds(shards: list[ShardMetrics]) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in shards:
+            for kind, count in shard.failure_kinds().items():
+                totals[kind] = totals.get(kind, 0) + count
+        return {kind: totals[kind] for kind in sorted(totals)}
 
     def to_json(self) -> str:
         """Canonical JSON: stable across runs, workers, and resumes.

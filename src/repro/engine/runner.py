@@ -19,7 +19,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.export import dataset_to_dict
+from repro.core.validity import NodeHealth, ValidityPolicy
 from repro.engine.experiments import (
+    ATTEMPT_INVALID,
     ATTEMPT_OK,
     ATTEMPT_RETRY,
     ATTEMPT_SKIP,
@@ -30,6 +32,7 @@ from repro.engine.experiments import (
 from repro.engine.metrics import ExperimentTally, ShardMetrics
 from repro.engine.retry import RetryPolicy
 from repro.engine.sharding import ShardSpec, derive_seed
+from repro.faults import KIND_STALE
 from repro.sim import World, WorldConfig, build_world
 from repro.sim.profiles import CountrySpec
 
@@ -50,6 +53,7 @@ class ShardTask:
     spec: ShardSpec
     plans: tuple[tuple[str, tuple[str, ...]], ...]
     retry: RetryPolicy
+    validity: ValidityPolicy = ValidityPolicy()
 
 
 def measure_planned_node(
@@ -58,7 +62,8 @@ def measure_planned_node(
     zid: str,
     country: str,
     retry: RetryPolicy,
-) -> tuple[str, int]:
+    health: Optional[NodeHealth] = None,
+) -> tuple[str, int, Optional[str]]:
     """Drive one planned node to a terminal outcome.
 
     Before every attempt a fresh session is pinned to the target, because
@@ -66,9 +71,17 @@ def measure_planned_node(
     retry would land on an arbitrary node.  Waits between attempts advance
     the shard's simulated clock, never the wall clock.
 
-    Returns ``(outcome, attempts)`` with outcome one of ``ATTEMPT_OK``,
-    ``ATTEMPT_SKIP``, or ``NODE_FAILED``.
+    ``health`` (when provided) is the shard's circuit breaker: a node
+    already quarantined is skipped outright, and a node that crosses the
+    quarantine threshold mid-loop stops being retried.
+
+    Returns ``(outcome, attempts, failure_kind)`` with outcome one of
+    ``ATTEMPT_OK``, ``ATTEMPT_SKIP``, ``ATTEMPT_INVALID``, or
+    ``NODE_FAILED``; ``failure_kind`` is a taxonomy kind for the last two,
+    ``None`` otherwise.
     """
+    if health is not None and health.quarantined(zid):
+        return NODE_FAILED, 0, health.dominant_kind(zid)
     delays = retry.delays()
     attempts = 0
     while True:
@@ -76,11 +89,22 @@ def measure_planned_node(
         session = adapter.next_session()
         world.superproxy.pin_session(session, zid)
         verdict = adapter.attempt(zid, country, session)
-        if verdict != ATTEMPT_RETRY:
-            return verdict, attempts
+        if verdict == ATTEMPT_OK:
+            if health is not None:
+                health.record_success(zid)
+            return verdict, attempts, None
+        if verdict == ATTEMPT_SKIP:
+            return verdict, attempts, None
+        kind = adapter.last_failure_kind or KIND_STALE
+        if verdict == ATTEMPT_INVALID:
+            return verdict, attempts, kind
+        if health is not None:
+            health.record_failure(zid, kind)
+            if health.quarantined(zid):
+                return NODE_FAILED, attempts, kind
         delay = next(delays, None)
         if delay is None:
-            return NODE_FAILED, attempts
+            return NODE_FAILED, attempts, kind
         world.internet.advance(delay)
 
 
@@ -95,8 +119,14 @@ def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics]:
 
     datasets: dict[str, Dataset] = {}
     metrics = ShardMetrics(index=task.spec.index)
+    # One health ledger per shard: reliability accumulates across the
+    # shard's experiments (the same flaky node fails everywhere), but never
+    # across shards — the determinism contract forbids shared mutable state.
+    health = NodeHealth(task.validity)
     for name, plan in task.plans:
-        adapter = make_adapter(name, world, derive_seed(task.spec.seed, name))
+        adapter = make_adapter(
+            name, world, derive_seed(task.spec.seed, name), validity=task.validity
+        )
         tally = ExperimentTally(planned=len(plan))
         for zid in plan:
             country = zid_country.get(zid)
@@ -106,20 +136,25 @@ def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics]:
                 # failure rather than crash the shard.
                 tally.failed += 1
                 continue
-            outcome, attempts = measure_planned_node(
-                world, adapter, zid, country, task.retry
+            outcome, attempts, kind = measure_planned_node(
+                world, adapter, zid, country, task.retry, health
             )
             tally.probes += attempts
-            tally.retries += attempts - 1
+            tally.retries += max(0, attempts - 1)
             if outcome == ATTEMPT_OK:
                 tally.measured += 1
             elif outcome == ATTEMPT_SKIP:
                 tally.skipped += 1
+            elif outcome == ATTEMPT_INVALID:
+                tally.invalid += 1
             else:
                 tally.failed += 1
+            if kind is not None:
+                tally.failure_kinds[kind] = tally.failure_kinds.get(kind, 0) + 1
         datasets[name] = adapter.finish()
         metrics.experiments[name] = tally
 
+    metrics.quarantine = health.report()
     metrics.sim_seconds = world.internet.clock.now
     metrics.traffic_gb = world.client.ledger.total_gb
     return datasets, metrics

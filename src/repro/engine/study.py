@@ -31,6 +31,7 @@ from typing import Mapping, Optional
 from repro.core.crawler import DEFAULT_STOP_THRESHOLD, DEFAULT_WINDOW, CrawlController
 from repro.core.export import dataset_from_dict, dataset_to_dict
 from repro.core.study import StudyResults, assemble_results
+from repro.core.validity import ValidityPolicy
 from repro.engine.checkpoint import CheckpointJournal, RunManifest
 from repro.engine.executor import Executor, make_executor
 from repro.engine.experiments import EXPERIMENT_ORDER, Dataset, empty_dataset
@@ -65,12 +66,21 @@ class StudySpec:
     window: int = DEFAULT_WINDOW
     stop_threshold: float = DEFAULT_STOP_THRESHOLD
     max_probes: Optional[int] = None
+    #: Measurement-validity defenses; ``None`` derives the policy from the
+    #: world's fault profile (inert without one, hardened with one), so
+    #: chaos runs defend themselves by default and fault-free runs stay
+    #: byte-identical to pre-validity builds.
+    validity: Optional[ValidityPolicy] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1: {self.shards}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.validity is None:
+            object.__setattr__(
+                self, "validity", ValidityPolicy.for_profile(self.config.fault_profile)
+            )
 
 
 @dataclass
@@ -120,13 +130,15 @@ def run_digest(spec: StudySpec, plans: Mapping[str, tuple[str, ...]]) -> str:
     ``workers`` is deliberately excluded — a checkpoint written with four
     workers is perfectly resumable with one, and vice versa.
     """
+    validity = spec.validity if spec.validity is not None else ValidityPolicy()
     return stable_digest(
-        "engine-run-v1",
+        "engine-run-v2",
         sorted(asdict(spec.config).items()),
         spec.countries,
         spec.seed,
         spec.shards,
         sorted(spec.retry.to_dict().items()),
+        sorted(validity.to_dict().items()),
         spec.window,
         spec.stop_threshold,
         spec.max_probes,
@@ -217,6 +229,7 @@ def run_study(
                     config=asdict(spec.config),
                     plan_sizes={name: len(plans[name]) for name in EXPERIMENT_ORDER},
                     retry=spec.retry.to_dict(),
+                    validity=spec.validity.to_dict() if spec.validity else {},
                 )
             )
     elif resume:
@@ -231,6 +244,7 @@ def run_study(
                 (name, shard_plans[shard_spec.index][name]) for name in EXPERIMENT_ORDER
             ),
             retry=spec.retry,
+            validity=spec.validity if spec.validity is not None else ValidityPolicy(),
         )
         for shard_spec in shard_specs
         if shard_spec.index not in completed
@@ -285,6 +299,7 @@ def run_plan_serial(
         window=spec.window,
         stop_threshold=spec.stop_threshold,
         max_probes=spec.max_probes,
+        validity=spec.validity,
     )
     coordinator = (
         world if world is not None else build_world(serial.config, serial.countries)
@@ -297,6 +312,7 @@ def run_plan_serial(
         spec=shard_spec,
         plans=tuple((name, plans[name]) for name in EXPERIMENT_ORDER),
         retry=serial.retry,
+        validity=serial.validity if serial.validity is not None else ValidityPolicy(),
     )
     datasets, _metrics = run_shard(task)
     return datasets

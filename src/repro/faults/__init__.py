@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the simulated measurement platform.
+
+The paper's §3 platform ran on churning end-user machines; this package
+replays that unreliability *reproducibly*: every fault is a pure hash of
+``(fault-plan seed, seam, zid, attempt index)``, so chaos is bit-identical
+across shards, worker counts, and crash/resume — and a zero-fault profile
+is byte-identical to a world with no fault plane at all.
+
+See ``docs/faults.md`` for the taxonomy, profiles, and determinism contract.
+"""
+
+from repro.faults.inject import (
+    FAILURE_KINDS,
+    KIND_REFUSED,
+    KIND_RESET,
+    KIND_STALE,
+    KIND_TIMEOUT,
+    KIND_TRUNCATED,
+    FaultError,
+    FaultInjector,
+    response_truncated,
+    truncate_response,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.profiles import PROFILES, FaultProfile, get_profile
+
+__all__ = [
+    "FAILURE_KINDS",
+    "KIND_REFUSED",
+    "KIND_RESET",
+    "KIND_STALE",
+    "KIND_TIMEOUT",
+    "KIND_TRUNCATED",
+    "PROFILES",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProfile",
+    "get_profile",
+    "response_truncated",
+    "truncate_response",
+]

@@ -1,0 +1,59 @@
+"""The seeded fault plan: every chaos decision is a pure hash lookup.
+
+The determinism contract of the execution engine (``docs/engine.md``) says a
+shard's result is a pure function of its task.  Fault injection must not
+weaken that, so no fault decision may consume a draw from any sequential RNG
+stream the simulation already owns (the super proxy's selection RNG, the
+world builder's) — doing so would shift every later draw and make a faulted
+world diverge from the fault-free one in uncontrolled ways.
+
+Instead, each decision is a *keyed hash*: ``draw(channel, *key)`` maps
+``(plan seed, channel, key)`` through SHA-256 to a uniform float in
+``[0, 1)``.  Two consequences:
+
+* the same ``(zid, attempt index)`` always suffers the same fault, bit-for-
+  bit, regardless of shard layout, worker count, or crash/resume history;
+* a world built with a zero-fault profile never calls into the plan at all,
+  so its behaviour is byte-identical to a world built before faults existed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Hex digits consumed per draw; 13 nibbles = 52 bits, exact in a float.
+_DRAW_NIBBLES = 13
+_DRAW_SPAN = float(16 ** _DRAW_NIBBLES)
+
+
+class FaultPlan:
+    """Deterministic fault draws derived from one seed string.
+
+    The seed folds together the world seed and the user-chosen fault seed
+    (see :meth:`FaultInjector.from_config`), so re-running the same study
+    replays identical chaos while ``--fault-seed`` re-rolls it wholesale.
+    """
+
+    def __init__(self, seed: str) -> None:
+        self.seed = seed
+
+    def draw(self, channel: str, *key: object) -> float:
+        """A uniform float in ``[0, 1)``, a pure function of the key."""
+        hasher = hashlib.sha256()
+        hasher.update(self.seed.encode("utf-8"))
+        hasher.update(b"\x1f")
+        hasher.update(channel.encode("utf-8"))
+        for part in key:
+            hasher.update(b"\x1f")
+            hasher.update(repr(part).encode("utf-8"))
+        return int(hasher.hexdigest()[:_DRAW_NIBBLES], 16) / _DRAW_SPAN
+
+    def happens(self, probability: float, channel: str, *key: object) -> bool:
+        """Whether the fault keyed by ``(channel, key)`` fires."""
+        if probability <= 0.0:
+            return False
+        return self.draw(channel, *key) < probability
+
+    def uniform(self, low: float, high: float, channel: str, *key: object) -> float:
+        """A deterministic value in ``[low, high)`` keyed by ``(channel, key)``."""
+        return low + (high - low) * self.draw(channel, *key)

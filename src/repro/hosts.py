@@ -28,6 +28,14 @@ from typing import Optional, Sequence
 from repro.dnssim.message import DnsResponse
 from repro.dnssim.resolver import RecursiveResolver
 from repro.fabric import Internet
+from repro.faults import (
+    KIND_REFUSED,
+    KIND_RESET,
+    KIND_TIMEOUT,
+    FaultError,
+    FaultInjector,
+    truncate_response,
+)
 from repro.middlebox.base import (
     DnsResponseRewriter,
     HttpResponseModifier,
@@ -76,6 +84,10 @@ class ExitNodeHost:
     #: by tests comparing planted truth against measured results.  The
     #: measurement/attribution pipeline never touches this.
     truth: dict = field(default_factory=dict)
+    #: The world's fault injector (``None`` under the zero-fault profile).
+    #: Forwarding through this host consults it at each seam; see
+    #: :mod:`repro.faults.inject`.
+    faults: Optional[FaultInjector] = None
 
     # -- DNS ----------------------------------------------------------------
 
@@ -110,11 +122,28 @@ class ExitNodeHost:
         otherwise it resolves through its configured path and raises
         :class:`HostDnsError` on failure.
         """
+        attempt = 0 if self.faults is None else self.faults.next_attempt(self.zid)
+
         if dest_ip is None:
+            if self.faults is not None:
+                kind = self.faults.dns_fault(self.zid, attempt)
+                if kind == KIND_REFUSED:
+                    raise HostDnsError(host, DnsResponse.servfail())
+                if kind == KIND_TIMEOUT:
+                    self.internet.clock.advance(self.faults.profile.dns_timeout_seconds)
+                    raise FaultError(KIND_TIMEOUT, f"dns lookup for {host}")
             answer = self.resolve(host)
             if answer.is_nxdomain or not answer.addresses:
                 raise HostDnsError(host, answer)
             dest_ip = answer.first_address
+
+        if self.faults is not None and self.faults.crash(self.zid, attempt):
+            raise FaultError(KIND_RESET, f"{self.zid} crashed mid-request")
+
+        if self.faults is not None:
+            stall = self.faults.stall_seconds(self.zid, attempt)
+            if stall > 0.0:
+                self.internet.clock.advance(stall)
 
         now = self.internet.clock.now
         request = HttpRequest(
@@ -137,12 +166,21 @@ class ExitNodeHost:
             response = modifier.modify_response(request, response, self.zid)
         for modifier in self.host_http_modifiers:
             response = modifier.modify_response(request, response, self.zid)
+        if self.faults is not None:
+            fraction = self.faults.truncate_fraction(self.zid, attempt)
+            if fraction is not None:
+                response = truncate_response(response, fraction)
         return response
 
     # -- TLS ----------------------------------------------------------------
 
     def tls_handshake(self, dest_ip: int, port: int, server_name: str) -> CertificateChain:
         """The certificate chain a TLS client on this host would receive."""
+        if self.faults is not None:
+            attempt = self.faults.next_attempt(self.zid)
+            kind = self.faults.tls_fault(self.zid, attempt)
+            if kind is not None:
+                raise FaultError(kind, f"tls handshake with {server_name}")
         chain = self.internet.tls_chain(dest_ip, port, server_name)
         now = self.internet.clock.now
         for interceptor in self.path_tls_interceptors:

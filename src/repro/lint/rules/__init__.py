@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.lint.rules.base import Rule
 from repro.lint.rules.determinism import UnorderedIteration, UnseededRandom, WallClock
+from repro.lint.rules.faultplan import FaultPlanOnly
 from repro.lint.rules.safety import BroadExcept, MutableDefaults
 from repro.lint.rules.simulation import FrozenRecords
 from repro.lint.rules.sterility import SterileImports
@@ -15,6 +16,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnseededRandom(),   # DET001
     WallClock(),        # DET002
     UnorderedIteration(),  # DET003
+    FaultPlanOnly(),    # FLT001
     MutableDefaults(),  # SAFE001
     BroadExcept(),      # SAFE002
     FrozenRecords(),    # SIM001
@@ -31,6 +33,7 @@ def get_rule(rule_id: str) -> Rule:
 __all__ = [
     "ALL_RULES",
     "BroadExcept",
+    "FaultPlanOnly",
     "FrozenRecords",
     "MutableDefaults",
     "Rule",

@@ -1,0 +1,75 @@
+"""FLT001 — the fault plane draws only from its keyed-hash FaultPlan.
+
+The chaos replay guarantee (same faults for any worker count, shard split,
+or crash/resume history) holds because every fault decision is a pure hash
+of ``(plan seed, seam, key)``.  A single sequential RNG stream inside
+:mod:`repro.faults` would break it: stream position depends on execution
+history, so two topologies of the same run would draw different faults.
+This rule bans every ambient entropy source from the package — including
+*seeded* ``random.Random``, which is exactly the sequential-stream trap.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, call_name
+
+#: The rule only applies inside the fault plane package.
+_FAULTS_PACKAGE = "repro/faults/"
+
+#: Modules whose import into the fault plane is an entropy smell.
+_BANNED_MODULES = {"random", "secrets", "uuid", "numpy.random"}
+
+
+class FaultPlanOnly(Rule):
+    """Forbid RNG streams and entropy sources inside ``repro.faults``."""
+
+    rule_id = "FLT001"
+    title = "fault decision outside the keyed-hash FaultPlan"
+    rationale = (
+        "Fault injection replays bit-for-bit across shards, workers, and "
+        "crash/resume only because every decision is a position-independent "
+        "hash drawn through FaultPlan.  Any RNG stream (even a seeded "
+        "random.Random) or entropy source (secrets, uuid, os.urandom) in "
+        "repro.faults reintroduces execution-order dependence."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if _FAULTS_PACKAGE not in ctx.path:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _BANNED_MODULES or alias.name.split(".")[0] in (
+                        "random",
+                        "secrets",
+                        "uuid",
+                    ):
+                        yield self.finding(
+                            ctx, node, alias.name,
+                            f"'{alias.name}' must not be imported in the fault "
+                            "plane; draw decisions through FaultPlan",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module in _BANNED_MODULES or module.split(".")[0] in (
+                    "random",
+                    "secrets",
+                    "uuid",
+                ):
+                    yield self.finding(
+                        ctx, node, module,
+                        f"importing from '{module}' brings an entropy source "
+                        "into the fault plane; draw decisions through FaultPlan",
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name == "os.urandom":
+                    yield self.finding(
+                        ctx, node, name,
+                        "'os.urandom()' is raw entropy; fault decisions must "
+                        "be keyed hashes drawn through FaultPlan",
+                    )

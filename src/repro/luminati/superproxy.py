@@ -14,8 +14,10 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.dnssim.message import RCode
 from repro.dnssim.resolver import GooglePublicDns
 from repro.fabric import Internet, UnreachableError
+from repro.faults import KIND_TIMEOUT, FaultError, FaultInjector, response_truncated
 from repro.hosts import HostDnsError
 from repro.luminati.billing import TrafficLedger
 from repro.luminati.errors import BadRequestError, TunnelPortError
@@ -32,6 +34,7 @@ MAX_ATTEMPTS = 5
 ERROR_SUPERPROXY_DNS = "superproxy_dns_failure"
 ERROR_EXIT_DNS_NXDOMAIN = "exit_dns_nxdomain"
 ERROR_NO_PEERS = "no_peers"
+ERROR_SUPERPROXY_502 = "superproxy_502"
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +89,15 @@ class ProxyResult:
         """Whether the exit node's own resolution said the name does not exist."""
         return self.error == ERROR_EXIT_DNS_NXDOMAIN
 
+    @property
+    def truncated(self) -> bool:
+        """Whether the body fell short of its advertised ``Content-Length``.
+
+        A truncated transfer is a *transport* failure: analyses must treat it
+        as invalid input, never as evidence of content modification (§5).
+        """
+        return self.success and response_truncated(self.body, self.header("Content-Length"))
+
     def header(self, name: str) -> Optional[str]:
         """Case-insensitive response-header lookup."""
         wanted = name.lower()
@@ -118,6 +130,8 @@ class SuperProxy:
         google: GooglePublicDns,
         seed: int = 0,
         pacing_seconds: float = 0.05,
+        faults: Optional[FaultInjector] = None,
+        attempt_timeout_seconds: float = 0.0,
     ) -> None:
         self.ip = ip
         self._internet = internet
@@ -129,6 +143,13 @@ class SuperProxy:
         self.requests_served = 0
         #: Per-GB billing meter and §3.4 ethics ledger.
         self.ledger = TrafficLedger()
+        #: Fault plane (``None`` when the world runs the zero-fault profile).
+        self._faults = faults
+        #: Per-attempt simulated-time budget; 0.0 disables the check.  A
+        #: forward whose simulated duration exceeds the budget is discarded
+        #: and recorded as a ``timeout`` attempt — the paper's per-request
+        #: timeout defense against wedged nodes.
+        self.attempt_timeout_seconds = attempt_timeout_seconds
 
     @property
     def registry(self) -> ExitNodeRegistry:
@@ -211,6 +232,10 @@ class SuperProxy:
         host, path = split_http_url(url)
         trace.add("client", "proxy request", "super proxy", url)
 
+        if self._faults is not None and self._faults.superproxy_error(self.requests_served):
+            trace.add("super proxy", "502 Bad Gateway", "client")
+            return ProxyResult(status=None, body=b"", error=ERROR_SUPERPROXY_502, debug=None)
+
         # DNS pre-check / default resolution at the super proxy via Google.
         resolved_ip: Optional[int] = None
         try:
@@ -243,14 +268,32 @@ class SuperProxy:
                     self._sessions.drop(options.session)
                 node = None
                 continue
+            if self._faults is not None and self._faults.offline_window(
+                node.zid, self._internet.clock.now
+            ):
+                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
+                if options.session is not None:
+                    self._sessions.drop(options.session)
+                node = None
+                continue
             trace.add("super proxy", "forward request", "exit node", node.zid)
+            started = self._internet.clock.now
             try:
                 if options.dns_remote:
                     trace.add("exit node", "DNS request", "exit node resolver", host)
                     response = node.host.fetch_http(host, path)
                 else:
                     response = node.host.fetch_http(host, path, dest_ip=resolved_ip)
-            except HostDnsError:
+            except HostDnsError as exc:
+                if exc.response.rcode is RCode.SERVFAIL:
+                    # A broken resolver, not an authoritative answer about the
+                    # name: refuse this node and fail over to the next peer.
+                    attempts.append(AttemptRecord(zid=node.zid, outcome="refused"))
+                    trace.add("exit node", "SERVFAIL from resolver", "super proxy")
+                    if options.session is not None:
+                        self._sessions.drop(options.session)
+                    node = None
+                    continue
                 # The exit node's own resolver says the name does not exist.
                 # This is an authoritative answer about the *name*, not a node
                 # failure, so Luminati reports it rather than retrying.
@@ -263,8 +306,28 @@ class SuperProxy:
                     error=ERROR_EXIT_DNS_NXDOMAIN,
                     debug=self._debug(node, attempts),
                 )
+            except FaultError as exc:
+                attempts.append(AttemptRecord(zid=node.zid, outcome=exc.kind))
+                trace.add("exit node", f"fault: {exc.kind}", "super proxy")
+                if options.session is not None:
+                    self._sessions.drop(options.session)
+                node = None
+                continue
             except UnreachableError:
                 attempts.append(AttemptRecord(zid=node.zid, outcome="connect_failed"))
+                node = None
+                continue
+            if (
+                self.attempt_timeout_seconds > 0.0
+                and self._internet.clock.now - started > self.attempt_timeout_seconds
+            ):
+                # The transfer outlived its simulated-time budget: discard the
+                # late response and fail over, exactly as the measurement
+                # client's per-request timeout would.
+                attempts.append(AttemptRecord(zid=node.zid, outcome=KIND_TIMEOUT))
+                trace.add("exit node", "response past deadline", "super proxy")
+                if options.session is not None:
+                    self._sessions.drop(options.session)
                 node = None
                 continue
             attempts.append(AttemptRecord(zid=node.zid, outcome="ok"))
@@ -315,6 +378,13 @@ class SuperProxy:
             tried.add(node.zid)
             dampen = self.PINNED_FLAKINESS_DAMPEN if pinned else 1.0
             if self._registry.is_offline(node, self._rng, dampen=dampen):
+                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
+                if options.session is not None:
+                    self._sessions.drop(options.session)
+                continue
+            if self._faults is not None and self._faults.offline_window(
+                node.zid, self._internet.clock.now
+            ):
                 attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
                 if options.session is not None:
                     self._sessions.drop(options.session)

@@ -17,6 +17,11 @@ from dataclasses import dataclass
 #: Environment variable read by benchmarks/examples for the default scale.
 SCALE_ENV_VAR = "REPRO_SCALE"
 
+#: Environment variables selecting a fault profile / fault seed (see
+#: :mod:`repro.faults`); used by the CI chaos job and benchmarks.
+FAULT_PROFILE_ENV_VAR = "REPRO_FAULT_PROFILE"
+FAULT_SEED_ENV_VAR = "REPRO_FAULT_SEED"
+
 
 @dataclass(frozen=True)
 class WorldConfig:
@@ -49,12 +54,25 @@ class WorldConfig:
     #: specs.  Used as the false-positive control: every detector must
     #: report zero against a sterile world.
     sterile: bool = False
+    #: Fault profile name (see :mod:`repro.faults.profiles`).  ``"none"``
+    #: injects nothing and is byte-identical to a world without the fault
+    #: plane; any other profile threads a seeded :class:`FaultInjector`
+    #: through the super proxy and every exit-node host.
+    fault_profile: str = "none"
+    #: Extra seed folded into the fault plan so chaos can be re-rolled
+    #: without changing the world itself.
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError(f"scale must be positive: {self.scale}")
         if self.pacing_seconds < 0:
             raise ValueError(f"pacing must be non-negative: {self.pacing_seconds}")
+        # Validate eagerly: a typo'd profile must fail at config time, not
+        # deep inside a shard worker.
+        from repro.faults.profiles import get_profile
+
+        get_profile(self.fault_profile)
 
     def scaled(self, count: float, minimum: int = 0) -> int:
         """A planted full-scale count, scaled to this world."""
@@ -62,9 +80,15 @@ class WorldConfig:
 
     @classmethod
     def from_env(cls, **overrides) -> "WorldConfig":
-        """Config whose ``scale`` honours the ``REPRO_SCALE`` environment
-        variable; a ``scale`` keyword serves as the fallback default."""
+        """Config honouring ``REPRO_SCALE`` / ``REPRO_FAULT_PROFILE`` /
+        ``REPRO_FAULT_SEED``; keyword arguments serve as fallback defaults."""
         raw = os.environ.get(SCALE_ENV_VAR)
         if raw is not None:
             overrides["scale"] = float(raw)
+        profile = os.environ.get(FAULT_PROFILE_ENV_VAR)
+        if profile is not None:
+            overrides["fault_profile"] = profile
+        fault_seed = os.environ.get(FAULT_SEED_ENV_VAR)
+        if fault_seed is not None:
+            overrides["fault_seed"] = int(fault_seed)
         return cls(**overrides)

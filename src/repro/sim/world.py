@@ -22,6 +22,7 @@ from repro.dnssim.authoritative import AuthoritativeServer, RecordPolicy
 from repro.dnssim.hijack import HijackPolicy
 from repro.dnssim.resolver import GooglePublicDns, RecursiveResolver
 from repro.fabric import Internet
+from repro.faults import FaultInjector, get_profile
 from repro.hosts import ExitNodeHost
 from repro.luminati.registry import ExitNodeRegistry
 from repro.luminati.service import LuminatiClient
@@ -134,6 +135,8 @@ class World:
     truth: WorldTruth
     #: Remaining address space per AS (used by :meth:`rotate_node_ips`).
     as_allocators: dict[int, IpAllocator] = field(default_factory=dict)
+    #: The seeded fault injector, ``None`` under the zero-fault profile.
+    faults: Optional[FaultInjector] = None
 
     @property
     def measurement_server_ip(self) -> int:
@@ -1101,6 +1104,11 @@ class _WorldBuilder:
     # -- final assembly -----------------------------------------------------------
 
     def finish(self) -> World:
+        # The fault plane: one injector shared by the super proxy and every
+        # host, or None under the zero-fault profile (the fast path leaves
+        # the fault-free simulation byte-identical to pre-fault builds).
+        faults = FaultInjector.from_config(self.config)
+        profile = get_profile(self.config.fault_profile)
         superproxy = SuperProxy(
             ip=self.superproxy_ip,
             internet=self.internet,
@@ -1108,7 +1116,12 @@ class _WorldBuilder:
             google=self.google,
             seed=self.config.seed,
             pacing_seconds=self.config.pacing_seconds,
+            faults=faults,
+            attempt_timeout_seconds=profile.attempt_timeout_seconds,
         )
+        if faults is not None:
+            for host in self.hosts:
+                host.faults = faults
         client = LuminatiClient(superproxy)
         return World(
             config=self.config,
@@ -1133,6 +1146,7 @@ class _WorldBuilder:
             hosts=self.hosts,
             truth=self.truth,
             as_allocators=self._as_cursors,
+            faults=faults,
         )
 
 

@@ -1,0 +1,18 @@
+"""FLT001 good fixture: fault decisions as keyed hashes, no RNG streams."""
+
+import hashlib
+
+
+def draw(seed: str, channel: str, *key: object) -> float:
+    digest = hashlib.sha256()
+    digest.update(seed.encode("utf-8"))
+    digest.update(channel.encode("utf-8"))
+    for part in key:
+        digest.update(repr(part).encode("utf-8"))
+    return int(digest.hexdigest()[:13], 16) / float(16**13)
+
+
+def happens(probability: float, seed: str, channel: str, *key: object) -> bool:
+    if probability <= 0.0:
+        return False
+    return draw(seed, channel, *key) < probability

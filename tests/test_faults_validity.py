@@ -1,0 +1,230 @@
+"""Validity pipeline: taxonomy, consensus, quarantine, and the §5 guard.
+
+The headline acceptance test lives here: a chaos profile that truncates
+15% of HTTP transfers must produce **zero** false §5 modification findings
+in a sterile world — short reads are transport loss, not tampering.
+"""
+
+import re
+
+import pytest
+
+from repro.core.experiments.http_mod import HttpModExperiment
+from repro.core.validity import NodeHealth, ValidityPolicy, classify_result
+from repro.engine import StudySpec, run_study
+from repro.faults import (
+    KIND_REFUSED,
+    KIND_STALE,
+    KIND_TIMEOUT,
+    KIND_TRUNCATED,
+)
+from repro.luminati.superproxy import (
+    ERROR_NO_PEERS,
+    ERROR_SUPERPROXY_502,
+    AttemptRecord,
+    ProxyResult,
+    TimelineDebug,
+)
+from repro.sim import WorldConfig, build_world
+from repro.sim.profiles import CountrySpec
+
+VALIDITY_COUNTRIES = (
+    CountrySpec(code="AA", population=220),
+    CountrySpec(code="BB", population=160),
+)
+
+_BASE = dict(
+    scale=1.0,
+    seed=19,
+    include_rare_tail=False,
+    alexa_countries=2,
+    popular_sites_per_country=5,
+    university_sites=3,
+)
+
+
+def _failed(outcome: str) -> ProxyResult:
+    debug = TimelineDebug(
+        zid="z1", exit_ip="", attempts=(AttemptRecord(zid="z1", outcome=outcome),)
+    )
+    return ProxyResult(status=None, body=b"", error="some_error", debug=debug)
+
+
+class TestClassifyResult:
+    def test_clean_success_is_not_a_failure(self):
+        result = ProxyResult(status=200, body=b"ok", error=None, debug=None)
+        assert classify_result(result) is None
+
+    def test_short_read_is_truncated(self):
+        result = ProxyResult(
+            status=200,
+            body=b"ab",
+            error=None,
+            debug=None,
+            headers=(("Content-Length", "10"),),
+        )
+        assert classify_result(result) == KIND_TRUNCATED
+
+    def test_superproxy_502_is_refused(self):
+        result = ProxyResult(status=None, body=b"", error=ERROR_SUPERPROXY_502, debug=None)
+        assert classify_result(result) == KIND_REFUSED
+
+    def test_last_attempt_outcome_maps_into_taxonomy(self):
+        assert classify_result(_failed("offline")) == KIND_STALE
+        assert classify_result(_failed("connect_failed")) == KIND_REFUSED
+        assert classify_result(_failed(KIND_TIMEOUT)) == KIND_TIMEOUT
+        assert classify_result(_failed(KIND_TRUNCATED)) == KIND_TRUNCATED
+
+    def test_no_peers_without_attempts_is_stale(self):
+        result = ProxyResult(status=None, body=b"", error=ERROR_NO_PEERS, debug=None)
+        assert classify_result(result) == KIND_STALE
+
+
+class TestValidityPolicy:
+    def test_default_is_inert(self):
+        policy = ValidityPolicy()
+        assert not policy.active
+
+    def test_for_profile(self):
+        assert not ValidityPolicy.for_profile("none").active
+        hardened = ValidityPolicy.for_profile("chaos")
+        assert hardened.confirmations == 1
+        assert hardened.quarantine_attempts == 6
+
+    def test_roundtrip(self):
+        policy = ValidityPolicy(confirmations=2, quarantine_attempts=4)
+        assert ValidityPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_spec_derives_policy_from_fault_profile(self):
+        quiet = StudySpec(
+            config=WorldConfig(**_BASE), countries=VALIDITY_COUNTRIES, seed=3
+        )
+        assert quiet.validity is not None and not quiet.validity.active
+        chaotic = StudySpec(
+            config=WorldConfig(fault_profile="chaos", **_BASE),
+            countries=VALIDITY_COUNTRIES,
+            seed=3,
+        )
+        assert chaotic.validity is not None and chaotic.validity.active
+
+    def test_spec_respects_explicit_policy(self):
+        spec = StudySpec(
+            config=WorldConfig(fault_profile="chaos", **_BASE),
+            countries=VALIDITY_COUNTRIES,
+            seed=3,
+            validity=ValidityPolicy(quarantine_attempts=1),
+        )
+        assert spec.validity == ValidityPolicy(quarantine_attempts=1)
+
+
+class TestNodeHealth:
+    def test_success_resets_the_streak(self):
+        health = NodeHealth(ValidityPolicy(quarantine_attempts=2))
+        health.record_failure("z1", KIND_TIMEOUT)
+        health.record_success("z1")
+        health.record_failure("z1", KIND_TIMEOUT)
+        assert not health.quarantined("z1")
+        health.record_failure("z1", KIND_TIMEOUT)
+        assert health.quarantined("z1")
+
+    def test_inert_policy_never_quarantines(self):
+        health = NodeHealth(ValidityPolicy())
+        for _ in range(50):
+            health.record_failure("z1", KIND_TIMEOUT)
+        assert not health.quarantined("z1")
+        assert health.report() == {}
+
+    def test_dominant_kind_ties_break_alphabetically(self):
+        health = NodeHealth(ValidityPolicy(quarantine_attempts=2))
+        health.record_failure("z1", KIND_TIMEOUT)
+        health.record_failure("z1", KIND_REFUSED)
+        assert health.dominant_kind("z1") == KIND_REFUSED
+
+    def test_report_format(self):
+        health = NodeHealth(ValidityPolicy(quarantine_attempts=2))
+        health.record_failure("z2", KIND_STALE)
+        health.record_failure("z2", KIND_STALE)
+        assert health.report() == {"z2": "2x stale"}
+
+
+class TestTruncationNeverFlagsModification:
+    """Acceptance: ≥10% truncation, zero false §5 findings (sterile world)."""
+
+    def test_chaos_truncation_yields_no_modification_findings(self):
+        config = WorldConfig(
+            fault_profile="chaos", fault_seed=2, sterile=True, **_BASE
+        )
+        world = build_world(config, VALIDITY_COUNTRIES)
+        assert world.faults is not None
+        assert world.faults.profile.http_truncate_rate >= 0.10
+        dataset = HttpModExperiment(world, seed=31).run()
+        assert world.faults.counters["http_truncated"] > 0
+        assert dataset.records, "chaos must not wipe out coverage entirely"
+        for record in dataset.records:
+            assert not record.modified_bodies
+
+    def test_sterile_engine_run_under_chaos_stays_clean(self):
+        config = WorldConfig(
+            fault_profile="chaos", fault_seed=2, sterile=True, **_BASE
+        )
+        world = build_world(config, VALIDITY_COUNTRIES)
+        spec = StudySpec(
+            config=config,
+            countries=VALIDITY_COUNTRIES,
+            seed=29,
+            shards=2,
+            workers=1,
+            window=40,
+        )
+        run = run_study(spec, world=world, analyses=False)
+        for record in run.datasets["http"].records:
+            assert not record.modified_bodies
+        assert sum(run.report.to_dict()["failure_kinds"].values()) > 0
+
+
+class TestQuarantineReporting:
+    @pytest.fixture(scope="class")
+    def quarantine_run(self):
+        config = WorldConfig(fault_profile="chaos", fault_seed=4, **_BASE)
+        world = build_world(config, VALIDITY_COUNTRIES)
+        spec = StudySpec(
+            config=config,
+            countries=VALIDITY_COUNTRIES,
+            seed=29,
+            shards=2,
+            workers=1,
+            window=40,
+            validity=ValidityPolicy(quarantine_attempts=1),
+        )
+        return run_study(spec, world=world, analyses=False), world, spec
+
+    def test_quarantined_nodes_reported_with_reasons(self, quarantine_run):
+        run, _, _ = quarantine_run
+        quarantined = {}
+        for shard in run.report.shards:
+            quarantined.update(shard.quarantine)
+        assert quarantined
+        for zid, reason in quarantined.items():
+            assert re.fullmatch(
+                r"\d+x (refused|reset|stale|timeout|truncated)", reason
+            ), f"{zid}: {reason}"
+        assert run.report.to_dict()["quarantined_nodes"] == sum(
+            len(shard.quarantine) for shard in run.report.shards
+        )
+
+    def test_quarantine_is_deterministic_across_workers(self, quarantine_run):
+        run, world, spec = quarantine_run
+        pooled_spec = StudySpec(
+            config=spec.config,
+            countries=VALIDITY_COUNTRIES,
+            seed=29,
+            shards=2,
+            workers=2,
+            window=40,
+            validity=ValidityPolicy(quarantine_attempts=1),
+        )
+        pooled = run_study(pooled_spec, world=world, analyses=False)
+        assert [s.quarantine for s in pooled.report.shards] == [
+            s.quarantine for s in run.report.shards
+        ]
+        assert pooled.dataset_summary() == run.dataset_summary()

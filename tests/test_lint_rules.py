@@ -102,3 +102,28 @@ class TestEngineMechanics:
         assert ids == sorted(set(ids)) or len(ids) == len(set(ids))
         for rule_id, title, rationale in docs:
             assert rule_id and title and rationale
+
+
+class TestFaultPlanRule:
+    """FLT001 is path-scoped, so its fixtures live under ``repro/faults/``."""
+
+    BAD = FIXTURES / "repro" / "faults" / "flt001_bad.py"
+    GOOD = FIXTURES / "repro" / "faults" / "flt001_good.py"
+
+    def test_bad_fixture_fires(self):
+        findings = fixture_engine().lint_file(self.BAD, FIXTURES)
+        assert findings, "FLT001 bad fixture produced no findings"
+        assert {f.rule for f in findings} == {"FLT001"}
+        assert {f.symbol for f in findings} == {
+            "random", "secrets", "uuid", "os.urandom",
+        }
+        assert all(f.path == "repro/faults/flt001_bad.py" for f in findings)
+
+    def test_good_fixture_is_silent(self):
+        findings = fixture_engine().lint_file(self.GOOD, FIXTURES)
+        assert findings == [], f"flt001_good.py should be clean: {findings}"
+
+    def test_rule_is_scoped_to_faults_package(self):
+        source = self.BAD.read_text(encoding="utf-8")
+        findings = fixture_engine().lint_source(source, "repro/engine/elsewhere.py")
+        assert "FLT001" not in {f.rule for f in findings}
