@@ -92,6 +92,67 @@ def bench_size(
     return block
 
 
+def bench_tracing_overhead(shards: int, workers: int, repeats: int) -> dict:
+    """Time the small world with observability off vs full tracing.
+
+    The ``off`` point measures the cost of the instrumentation *guards*
+    (one attribute read and a branch per seam — the NullRecorder path);
+    the ``trace`` point measures full event recording.  Tracing must not
+    change a single dataset byte, so the block asserts SHA equality and
+    records the trace digest alongside the timings.
+    """
+    config = WorldConfig(scale=0.005)
+    points: dict[str, dict] = {}
+    for obs in ("off", "trace"):
+        spec = StudySpec(
+            config=config, seed=1000, shards=shards, workers=workers, obs=obs
+        )
+        wall: list[float] = []
+        run = None
+        for attempt in range(repeats):
+            started = time.perf_counter()
+            run = run_study(spec, analyses=False)
+            wall.append(time.perf_counter() - started)
+            print(
+                f"  tracing-overhead obs={obs} run {attempt + 1}/{repeats}: "
+                f"{wall[-1]:.1f}s",
+                flush=True,
+            )
+        assert run is not None
+        point = {
+            "dataset_summary_sha256": hashlib.sha256(
+                run.dataset_summary().encode("utf-8")
+            ).hexdigest(),
+            "run_digest": run.digest,
+            "wall_seconds": {
+                "runs": len(wall),
+                "best": round(min(wall), 3),
+                "mean": round(statistics.mean(wall), 3),
+            },
+        }
+        if run.trace is not None:
+            point["trace_events"] = len(run.trace)
+            point["trace_digest"] = run.trace.digest()
+        points[obs] = point
+    if (
+        points["off"]["dataset_summary_sha256"]
+        != points["trace"]["dataset_summary_sha256"]
+        or points["off"]["run_digest"] != points["trace"]["run_digest"]
+    ):
+        raise SystemExit("tracing changed the datasets — determinism violation")
+    off_best = points["off"]["wall_seconds"]["best"]
+    trace_best = points["trace"]["wall_seconds"]["best"]
+    return {
+        "scale": 0.005,
+        "shards": shards,
+        "workers": workers,
+        "seed": 1000,
+        "off": points["off"],
+        "trace": points["trace"],
+        "trace_overhead_pct": round(100.0 * (trace_best - off_best) / off_best, 1),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=1, help="timed runs per size")
@@ -112,6 +173,10 @@ def main(argv: list[str] | None = None) -> int:
         payload["sizes"][name] = bench_size(
             name, scale, fault_profile, args.shards, args.workers, args.repeats
         )
+    print("benchmarking tracing overhead (small world, obs off vs trace) ...", flush=True)
+    payload["tracing_overhead"] = bench_tracing_overhead(
+        args.shards, args.workers, args.repeats
+    )
 
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)

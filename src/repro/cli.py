@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the full pipeline without writing any code:
+Six commands cover the full pipeline without writing any code:
 
 * ``world-info`` — build a world and summarize its population;
 * ``run`` — run one (or all) of the paper's four experiments, print the
   corresponding tables, and optionally save the dataset as JSON Lines;
 * ``study`` — run the complete study on the sharded execution engine
-  (``--shards/--workers/--checkpoint/--resume``; see ``docs/engine.md``);
+  (``--shards/--workers/--checkpoint/--resume``, plus ``--trace`` /
+  ``--obs-metrics`` for the observability plane; see ``docs/engine.md``
+  and ``docs/observability.md``);
+* ``trace`` — summarize or export a trace written by ``study --trace``
+  (Chrome trace-event JSON, Prometheus text, metrics snapshot);
 * ``report`` — re-print the tables for a previously saved dataset;
 * ``lint`` — run the sterility/determinism static checker over the source
   (see ``docs/static_analysis.md``); exits non-zero on new findings.
@@ -247,6 +251,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.engine import StudySpec, run_study
+    from repro.obs import OBS_METRICS, OBS_OFF, OBS_TRACE
 
     config = WorldConfig.from_env(
         scale=args.scale,
@@ -254,11 +259,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
         fault_profile=args.faults,
         fault_seed=args.fault_seed,
     )
+    obs_level = OBS_OFF
+    if args.obs_metrics:
+        obs_level = OBS_METRICS
+    if args.trace:
+        obs_level = OBS_TRACE
     spec = StudySpec(
         config=config,
         seed=args.study_seed,
         shards=args.shards,
         workers=args.workers,
+        obs=obs_level,
     )
     faults_note = (
         f" faults={config.fault_profile}/{config.fault_seed}"
@@ -299,11 +310,54 @@ def _cmd_study(args: argparse.Namespace) -> int:
             + "; ".join(f"{zid} ({reason})" for zid, reason in shown)
             + (" ..." if len(quarantined) > len(shown) else "")
         )
+    if args.trace:
+        assert run.trace is not None
+        path = pathlib.Path(args.trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(run.trace.to_jsonl(), encoding="utf-8")
+        print(
+            f"trace written to {path} ({len(run.trace)} events, "
+            f"digest {run.trace.digest()[:16]}...)"
+        )
+    if args.obs_metrics:
+        assert run.obs_metrics is not None
+        path = pathlib.Path(args.obs_metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(run.obs_metrics.snapshot_json() + "\n", encoding="utf-8")
+        print(f"obs metrics snapshot written to {path}")
+    if run.profile is not None and run.profile.enabled:
+        sections = {
+            note["label"]: note.get("wall_seconds")
+            for note in run.profile.notes
+            if "wall_seconds" in note
+        }
+        rendered = ", ".join(f"{label}={sections[label]:.1f}s" for label in sections)
+        print(f"profile (wall clock, digest-excluded): {rendered}")
     if args.metrics:
         path = pathlib.Path(args.metrics)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(report.to_json() + "\n", encoding="utf-8")
         print(f"metrics written to {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import TraceLog, export_trace, render_summary
+
+    trace = TraceLog.from_jsonl(
+        pathlib.Path(args.trace_file).read_text(encoding="utf-8")
+    )
+    if args.trace_command == "summarize":
+        print(render_summary(trace.summarize()))
+        return 0
+    rendered = export_trace(trace, args.format)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered, encoding="utf-8")
+        print(f"{args.format} export written to {out}")
+    else:
+        sys.stdout.write(rendered)
     return 0
 
 
@@ -407,6 +461,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra seed folded into the fault plan (REPRO_FAULT_SEED overrides)",
     )
     study.add_argument("--metrics", help="write the run metrics JSON to this path")
+    study.add_argument(
+        "--trace", metavar="PATH",
+        help="record the deterministic event trace (simulated clock) and "
+        "write it as JSONL; the trace digest lands in the run metrics",
+    )
+    study.add_argument(
+        "--obs-metrics", metavar="PATH",
+        help="write the merged observability metrics registry as a "
+        "canonical-JSON snapshot (implied by --trace)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="summarize or export a trace written by `study --trace`"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser("summarize", help="aggregate view of a trace file")
+    summarize.add_argument("trace_file", help="JSONL trace from `study --trace`")
+    export_cmd = trace_sub.add_parser("export", help="convert a trace to another format")
+    export_cmd.add_argument("trace_file", help="JSONL trace from `study --trace`")
+    export_cmd.add_argument(
+        "--format", choices=("jsonl", "chrome", "prom", "snapshot"), default="chrome",
+        help="chrome = Chrome trace-event/Perfetto JSON; prom = Prometheus "
+        "text exposition; snapshot = canonical metrics JSON (default: chrome)",
+    )
+    export_cmd.add_argument("--out", help="output path (default: stdout)")
 
     report = sub.add_parser("report", help="re-print tables for a saved dataset")
     report.add_argument("--experiment", choices=EXPERIMENTS, required=True)
@@ -448,6 +527,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "world-info": _cmd_world_info,
         "run": _cmd_run,
         "study": _cmd_study,
+        "trace": _cmd_trace,
         "report": _cmd_report,
         "lint": _cmd_lint,
     }

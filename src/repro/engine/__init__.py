@@ -20,7 +20,13 @@ from repro.engine.checkpoint import (
 from repro.engine.executor import Executor, ProcessExecutor, SerialExecutor, make_executor
 from repro.engine.metrics import ExperimentTally, RunReport, ShardMetrics
 from repro.engine.retry import RetryPolicy
-from repro.engine.runner import ShardTask, execute_shard, measure_planned_node, run_shard
+from repro.engine.runner import (
+    ShardTask,
+    execute_shard,
+    measure_planned_node,
+    run_shard,
+    shard_registry,
+)
 from repro.engine.sharding import (
     ShardSpec,
     derive_seed,
@@ -72,5 +78,6 @@ __all__ = [
     "run_shard",
     "run_study",
     "shard_of",
+    "shard_registry",
     "stable_digest",
 ]

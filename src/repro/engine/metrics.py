@@ -155,6 +155,12 @@ class RunReport:
     shards: list[ShardMetrics] = field(default_factory=list)
     #: How many shards were loaded from the checkpoint instead of executed.
     resumed_shards: int = 0
+    #: SHA-256 of the run's deterministic trace (obs ``trace`` level only);
+    #: the same spec must yield the same digest for any worker count or
+    #: crash/resume history.  ``None`` — and absent from :meth:`to_dict` —
+    #: when tracing was off, keeping untraced reports byte-identical to
+    #: pre-obs builds.
+    trace_digest: "str | None" = None
 
     @property
     def completed_shards(self) -> int:
@@ -172,7 +178,7 @@ class RunReport:
         """JSON-able form; shards listed in index order regardless of
         completion order, so the report is scheduling-independent."""
         ordered = sorted(self.shards, key=lambda m: m.index)
-        return {
+        payload = {
             "shard_count": self.shard_count,
             "worker_count": self.worker_count,
             "completed_shards": self.completed_shards,
@@ -189,6 +195,9 @@ class RunReport:
             "traffic_gb": round(sum(m.traffic_gb for m in ordered), 9),
             "shards": [m.to_dict() for m in ordered],
         }
+        if self.trace_digest is not None:
+            payload["trace_digest"] = self.trace_digest
+        return payload
 
     @staticmethod
     def _merged_failure_kinds(shards: list[ShardMetrics]) -> dict[str, int]:

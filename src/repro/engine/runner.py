@@ -33,6 +33,7 @@ from repro.engine.metrics import ExperimentTally, ShardMetrics
 from repro.engine.retry import RetryPolicy
 from repro.engine.sharding import ShardSpec, derive_seed
 from repro.faults import KIND_STALE
+from repro.obs import OBS_OFF, OBS_TRACE, MetricsRegistry, TraceRecorder, registry_from_events
 from repro.sim import World, WorldConfig, build_world
 from repro.sim.profiles import CountrySpec
 
@@ -54,6 +55,9 @@ class ShardTask:
     plans: tuple[tuple[str, tuple[str, ...]], ...]
     retry: RetryPolicy
     validity: ValidityPolicy = ValidityPolicy()
+    #: Observability level (``off``/``metrics``/``trace``); never part of the
+    #: run digest — tracing must not change what a run measures.
+    obs: str = OBS_OFF
 
 
 def measure_planned_node(
@@ -105,12 +109,31 @@ def measure_planned_node(
         delay = next(delays, None)
         if delay is None:
             return NODE_FAILED, attempts, kind
+        obs = world.internet.obs
+        if obs.enabled:
+            obs.event(
+                "retry.backoff", actor=zid,
+                attrs={"attempt": attempts, "delay": delay, "kind": kind},
+            )
         world.internet.advance(delay)
 
 
-def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics]:
-    """Execute one shard against its private world replay."""
+def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics, Optional[dict]]:
+    """Execute one shard against its private world replay.
+
+    Returns ``(datasets, metrics, obs_payload)``; the observability payload
+    is ``None`` when ``task.obs`` is ``off``, otherwise a JSON-able dict
+    with the shard's merged metrics registry (and, at the ``trace`` level,
+    its full event list).  Because the recorder is clocked on the shard's
+    private simulated clock, the payload is a pure function of the task —
+    the same determinism contract the datasets honour.
+    """
     world = build_world(task.config, task.countries)
+    recorder: Optional[TraceRecorder] = None
+    if task.obs != OBS_OFF:
+        recorder = TraceRecorder(world.internet.clock)
+        world.internet.obs = recorder
+    obs = world.internet.obs
     zid_country = {
         zid: country
         for country, zids in world.registry.zids_by_country().items()
@@ -123,51 +146,123 @@ def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics]:
     # shard's experiments (the same flaky node fails everywhere), but never
     # across shards — the determinism contract forbids shared mutable state.
     health = NodeHealth(task.validity)
-    for name, plan in task.plans:
-        adapter = make_adapter(
-            name, world, derive_seed(task.spec.seed, name), validity=task.validity
-        )
-        tally = ExperimentTally(planned=len(plan))
-        for zid in plan:
-            country = zid_country.get(zid)
-            if country is None:
-                # The plan references a node this world replay does not
-                # know — only possible with a corrupted plan; count it as a
-                # failure rather than crash the shard.
-                tally.failed += 1
-                continue
-            outcome, attempts, kind = measure_planned_node(
-                world, adapter, zid, country, task.retry, health
+    with obs.span("shard.run", attrs={"shard": task.spec.index}):
+        for name, plan in task.plans:
+            adapter = make_adapter(
+                name, world, derive_seed(task.spec.seed, name), validity=task.validity
             )
-            tally.probes += attempts
-            tally.retries += max(0, attempts - 1)
-            if outcome == ATTEMPT_OK:
-                tally.measured += 1
-            elif outcome == ATTEMPT_SKIP:
-                tally.skipped += 1
-            elif outcome == ATTEMPT_INVALID:
-                tally.invalid += 1
-            else:
-                tally.failed += 1
-            if kind is not None:
-                tally.failure_kinds[kind] = tally.failure_kinds.get(kind, 0) + 1
-        datasets[name] = adapter.finish()
-        metrics.experiments[name] = tally
+            tally = ExperimentTally(planned=len(plan))
+            with obs.span("experiment.run", detail=name, attrs={"planned": len(plan)}):
+                for zid in plan:
+                    country = zid_country.get(zid)
+                    if country is None:
+                        # The plan references a node this world replay does not
+                        # know — only possible with a corrupted plan; count it
+                        # as a failure rather than crash the shard.
+                        tally.failed += 1
+                        continue
+                    if obs.enabled:
+                        with obs.span("node.measure", actor=zid, detail=name):
+                            outcome, attempts, kind = measure_planned_node(
+                                world, adapter, zid, country, task.retry, health
+                            )
+                        obs.event(
+                            "node.outcome", actor=zid, detail=name,
+                            attrs={
+                                "outcome": outcome,
+                                "attempts": attempts,
+                                "kind": kind or "",
+                            },
+                        )
+                    else:
+                        outcome, attempts, kind = measure_planned_node(
+                            world, adapter, zid, country, task.retry, health
+                        )
+                    tally.probes += attempts
+                    tally.retries += max(0, attempts - 1)
+                    if outcome == ATTEMPT_OK:
+                        tally.measured += 1
+                    elif outcome == ATTEMPT_SKIP:
+                        tally.skipped += 1
+                    elif outcome == ATTEMPT_INVALID:
+                        tally.invalid += 1
+                    else:
+                        tally.failed += 1
+                    if kind is not None:
+                        tally.failure_kinds[kind] = tally.failure_kinds.get(kind, 0) + 1
+            datasets[name] = adapter.finish()
+            metrics.experiments[name] = tally
 
     metrics.quarantine = health.report()
     metrics.sim_seconds = world.internet.clock.now
     metrics.traffic_gb = world.client.ledger.total_gb
-    return datasets, metrics
+    obs_payload = None
+    if recorder is not None:
+        obs_payload = {
+            "metrics": shard_registry(task, metrics, recorder).to_dict(),
+        }
+        if task.obs == OBS_TRACE:
+            obs_payload["trace"] = [event.to_dict() for event in recorder.events]
+    return datasets, metrics, obs_payload
+
+
+def shard_registry(
+    task: ShardTask, metrics: ShardMetrics, recorder: TraceRecorder
+) -> MetricsRegistry:
+    """One shard's metrics registry: engine tallies plus event-derived series.
+
+    Per-shard series carry a ``shard`` label so the run-level merge (sum for
+    counters, max for gauges, bucket-add for histograms) never collides two
+    shards' point samples.
+    """
+    registry = MetricsRegistry()
+    for name, tally in sorted(metrics.experiments.items()):
+        for outcome in ("measured", "skipped", "failed", "invalid"):
+            registry.counter(
+                "engine_nodes_total", getattr(tally, outcome),
+                help="planned nodes by terminal outcome",
+                experiment=name, outcome=outcome,
+            )
+        registry.counter(
+            "engine_probes_total", tally.probes,
+            help="measurement attempts including retries", experiment=name,
+        )
+        registry.counter(
+            "engine_retries_total", tally.retries,
+            help="re-attempts beyond each node's first try", experiment=name,
+        )
+        for kind in sorted(tally.failure_kinds):
+            registry.counter(
+                "engine_failures_total", tally.failure_kinds[kind],
+                help="terminal failures by taxonomy kind",
+                experiment=name, kind=kind,
+            )
+    registry.counter(
+        "engine_quarantined_nodes_total", len(metrics.quarantine),
+        help="nodes quarantined by the shard circuit breaker",
+        shard=task.spec.index,
+    )
+    registry.gauge(
+        "engine_shard_sim_seconds", metrics.sim_seconds,
+        help="simulated seconds the shard ran", shard=task.spec.index,
+    )
+    registry.gauge(
+        "engine_shard_traffic_gb", metrics.traffic_gb,
+        help="simulated GB the shard's client moved", shard=task.spec.index,
+    )
+    return registry_from_events(recorder.events, registry)
 
 
 def execute_shard(task: ShardTask) -> dict:
     """Module-level executor entry point: JSON-able shard result.
 
     The returned dict is exactly what the checkpoint journal stores, so a
-    resumed shard and a freshly executed one are indistinguishable.
+    resumed shard and a freshly executed one are indistinguishable.  The
+    ``obs`` key exists only when the task ran with observability on — an
+    ``off`` run's result is byte-identical to pre-obs builds.
     """
-    datasets, metrics = run_shard(task)
-    return {
+    datasets, metrics, obs_payload = run_shard(task)
+    result = {
         "kind": "shard",
         "index": task.spec.index,
         "datasets": {
@@ -175,3 +270,6 @@ def execute_shard(task: ShardTask) -> dict:
         },
         "metrics": metrics.to_dict(),
     }
+    if obs_payload is not None:
+        result["obs"] = obs_payload
+    return result

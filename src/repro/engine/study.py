@@ -32,7 +32,7 @@ from repro.core.crawler import DEFAULT_STOP_THRESHOLD, DEFAULT_WINDOW, CrawlCont
 from repro.core.export import dataset_from_dict, dataset_to_dict
 from repro.core.study import StudyResults, assemble_results
 from repro.core.validity import ValidityPolicy
-from repro.engine.checkpoint import CheckpointJournal, RunManifest
+from repro.engine.checkpoint import CheckpointJournal, CheckpointMismatchError, RunManifest
 from repro.engine.executor import Executor, make_executor
 from repro.engine.experiments import EXPERIMENT_ORDER, Dataset, empty_dataset
 from repro.engine.metrics import RunReport, ShardMetrics
@@ -43,6 +43,14 @@ from repro.engine.sharding import (
     make_shard_specs,
     partition_plans,
     stable_digest,
+)
+from repro.obs import (
+    OBS_LEVELS,
+    OBS_OFF,
+    OBS_TRACE,
+    MetricsRegistry,
+    ProfilingChannel,
+    TraceLog,
 )
 from repro.sim import World, WorldConfig, build_world
 from repro.sim.profiles import CountrySpec
@@ -71,12 +79,19 @@ class StudySpec:
     #: chaos runs defend themselves by default and fault-free runs stay
     #: byte-identical to pre-validity builds.
     validity: Optional[ValidityPolicy] = None
+    #: Observability level: ``off`` (default), ``metrics`` (per-shard
+    #: registries merged into a run snapshot), or ``trace`` (full event log
+    #: plus metrics).  Like ``workers``, this field is excluded from the run
+    #: digest — observability must never change what a run measures.
+    obs: str = OBS_OFF
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1: {self.shards}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.obs not in OBS_LEVELS:
+            raise ValueError(f"obs must be one of {OBS_LEVELS}: {self.obs!r}")
         if self.validity is None:
             object.__setattr__(
                 self, "validity", ValidityPolicy.for_profile(self.config.fault_profile)
@@ -93,6 +108,14 @@ class EngineRun:
     datasets: dict[str, Dataset]
     report: RunReport
     results: Optional[StudyResults] = None
+    #: Deterministic run trace, assembled in shard-index order
+    #: (``spec.obs == "trace"`` only).
+    trace: Optional[TraceLog] = None
+    #: Merged per-shard metrics registry (``spec.obs != "off"`` only).
+    obs_metrics: Optional[MetricsRegistry] = None
+    #: Wall-clock profiling channel — digest-excluded by construction; its
+    #: contents depend on scheduling and may differ between identical runs.
+    profile: Optional[ProfilingChannel] = None
 
     def dataset_summary(self) -> str:
         """Canonical summary of this run's datasets (see module function)."""
@@ -207,8 +230,12 @@ def run_study(
     :attr:`EngineRun.results` as ``None`` — raw-dataset comparisons don't
     need tables.
     """
-    coordinator = world if world is not None else build_world(spec.config, spec.countries)
-    plans = compute_plans(coordinator, spec)
+    profile = ProfilingChannel(enabled=spec.obs != OBS_OFF)
+    with profile.section("plan"):
+        coordinator = (
+            world if world is not None else build_world(spec.config, spec.countries)
+        )
+        plans = compute_plans(coordinator, spec)
     digest = run_digest(spec, plans)
     shard_specs = make_shard_specs(spec.seed, spec.shards)
     shard_plans = partition_plans(plans, spec.shards)
@@ -220,6 +247,21 @@ def run_study(
         if resume:
             manifest, completed = journal.verify_manifest(digest)
             journal.rewrite(manifest, completed)
+            if spec.obs != OBS_OFF:
+                # A trace must cover every shard or none: shards resumed from
+                # an observability-free journal would leave silent holes in a
+                # "deterministic" trace, so refuse the mix outright.
+                for index in sorted(completed):
+                    payload = completed[index].get("obs")
+                    if payload is None or (
+                        spec.obs == OBS_TRACE and "trace" not in payload
+                    ):
+                        raise CheckpointMismatchError(
+                            f"checkpoint shard {index} was journalled without "
+                            f"obs={spec.obs!r} data; rerun with the original "
+                            "observability level or restart the checkpoint"
+                        )
+            profile.note("checkpoint.resume", shards=len(completed))
         else:
             journal.start(
                 RunManifest(
@@ -245,6 +287,7 @@ def run_study(
             ),
             retry=spec.retry,
             validity=spec.validity if spec.validity is not None else ValidityPolicy(),
+            obs=spec.obs,
         )
         for shard_spec in shard_specs
         if shard_spec.index not in completed
@@ -256,17 +299,35 @@ def run_study(
         resumed_shards=len(completed),
     )
     pool = executor if executor is not None else make_executor(spec.workers)
-    for result in pool.run(tasks, execute_shard):
-        completed[result["index"]] = result
-        if journal is not None:
-            journal.append_shard(result)
+    with profile.section("execute"):
+        for result in pool.run(tasks, execute_shard):
+            completed[result["index"]] = result
+            if journal is not None:
+                journal.append_shard(result)
+                # Wall-clock, completion-order annotation: profiling channel
+                # only, never the deterministic trace.
+                profile.note("checkpoint.shard", shard=result["index"])
 
     report.shards = [
         ShardMetrics.from_dict(completed[index]["metrics"]) for index in sorted(completed)
     ]
-    datasets = merge_shard_results(completed)
+    with profile.section("merge"):
+        datasets = merge_shard_results(completed)
 
-    run = EngineRun(spec=spec, digest=digest, plans=plans, datasets=datasets, report=report)
+    run = EngineRun(
+        spec=spec, digest=digest, plans=plans, datasets=datasets, report=report
+    )
+    if spec.obs != OBS_OFF:
+        run.profile = profile
+        run.obs_metrics = MetricsRegistry.merge_all(
+            MetricsRegistry.from_dict(completed[index]["obs"]["metrics"])
+            for index in sorted(completed)
+        )
+        if spec.obs == OBS_TRACE:
+            run.trace = TraceLog.from_shard_payloads(
+                {index: completed[index]["obs"]["trace"] for index in sorted(completed)}
+            )
+            report.trace_digest = run.trace.digest()
     if analyses:
         run.results = assemble_results(
             coordinator,
@@ -314,5 +375,5 @@ def run_plan_serial(
         retry=serial.retry,
         validity=serial.validity if serial.validity is not None else ValidityPolicy(),
     )
-    datasets, _metrics = run_shard(task)
+    datasets, _metrics, _obs = run_shard(task)
     return datasets

@@ -93,11 +93,23 @@ class ExitNodeHost:
 
     def resolve(self, qname: str) -> DnsResponse:
         """Resolve a name the way this host would: resolver, then rewriters."""
-        response = self.resolver.resolve(qname, self.ip)
-        for rewriter in self.path_dns_rewriters:
-            response = rewriter.rewrite_dns(qname, response, self.zid)
-        for rewriter in self.host_dns_rewriters:
-            response = rewriter.rewrite_dns(qname, response, self.zid)
+        obs = self.internet.obs
+        with obs.span("dns.resolve", actor=self.zid, target=qname):
+            response = self.resolver.resolve(qname, self.ip)
+            for rewriter in self.path_dns_rewriters:
+                response = rewriter.rewrite_dns(qname, response, self.zid)
+            for rewriter in self.host_dns_rewriters:
+                response = rewriter.rewrite_dns(qname, response, self.zid)
+            if obs.enabled:
+                obs.event(
+                    "dns.answer",
+                    actor=self.zid,
+                    target=qname,
+                    attrs={
+                        "rcode": response.rcode.name,
+                        "answers": len(response.addresses),
+                    },
+                )
         return response
 
     # -- HTTP ---------------------------------------------------------------
@@ -122,14 +134,25 @@ class ExitNodeHost:
         otherwise it resolves through its configured path and raises
         :class:`HostDnsError` on failure.
         """
+        obs = self.internet.obs
         attempt = 0 if self.faults is None else self.faults.next_attempt(self.zid)
 
         if dest_ip is None:
             if self.faults is not None:
                 kind = self.faults.dns_fault(self.zid, attempt)
                 if kind == KIND_REFUSED:
+                    if obs.enabled:
+                        obs.event(
+                            "fault.injected", actor=self.zid, detail="dns",
+                            attrs={"kind": KIND_REFUSED},
+                        )
                     raise HostDnsError(host, DnsResponse.servfail())
                 if kind == KIND_TIMEOUT:
+                    if obs.enabled:
+                        obs.event(
+                            "fault.injected", actor=self.zid, detail="dns",
+                            attrs={"kind": KIND_TIMEOUT},
+                        )
                     self.internet.clock.advance(self.faults.profile.dns_timeout_seconds)
                     raise FaultError(KIND_TIMEOUT, f"dns lookup for {host}")
             answer = self.resolve(host)
@@ -138,11 +161,21 @@ class ExitNodeHost:
             dest_ip = answer.first_address
 
         if self.faults is not None and self.faults.crash(self.zid, attempt):
+            if obs.enabled:
+                obs.event(
+                    "fault.injected", actor=self.zid, detail="crash",
+                    attrs={"kind": KIND_RESET},
+                )
             raise FaultError(KIND_RESET, f"{self.zid} crashed mid-request")
 
         if self.faults is not None:
             stall = self.faults.stall_seconds(self.zid, attempt)
             if stall > 0.0:
+                if obs.enabled:
+                    obs.event(
+                        "fault.injected", actor=self.zid, detail="stall",
+                        attrs={"kind": "stall", "seconds": stall},
+                    )
                 self.internet.clock.advance(stall)
 
         now = self.internet.clock.now
@@ -169,6 +202,11 @@ class ExitNodeHost:
         if self.faults is not None:
             fraction = self.faults.truncate_fraction(self.zid, attempt)
             if fraction is not None:
+                if obs.enabled:
+                    obs.event(
+                        "fault.injected", actor=self.zid, detail="http",
+                        attrs={"kind": "truncated", "fraction": fraction},
+                    )
                 response = truncate_response(response, fraction)
         return response
 
@@ -176,17 +214,31 @@ class ExitNodeHost:
 
     def tls_handshake(self, dest_ip: int, port: int, server_name: str) -> CertificateChain:
         """The certificate chain a TLS client on this host would receive."""
-        if self.faults is not None:
-            attempt = self.faults.next_attempt(self.zid)
-            kind = self.faults.tls_fault(self.zid, attempt)
-            if kind is not None:
-                raise FaultError(kind, f"tls handshake with {server_name}")
-        chain = self.internet.tls_chain(dest_ip, port, server_name)
-        now = self.internet.clock.now
-        for interceptor in self.path_tls_interceptors:
-            chain = interceptor.intercept_chain(server_name, chain, self.zid, now)
-        for interceptor in self.host_tls_interceptors:
-            chain = interceptor.intercept_chain(server_name, chain, self.zid, now)
+        obs = self.internet.obs
+        with obs.span("tls.handshake", actor=self.zid, target=server_name):
+            if self.faults is not None:
+                attempt = self.faults.next_attempt(self.zid)
+                kind = self.faults.tls_fault(self.zid, attempt)
+                if kind is not None:
+                    if obs.enabled:
+                        obs.event(
+                            "fault.injected", actor=self.zid, detail="tls",
+                            attrs={"kind": kind},
+                        )
+                    raise FaultError(kind, f"tls handshake with {server_name}")
+            chain = self.internet.tls_chain(dest_ip, port, server_name)
+            now = self.internet.clock.now
+            for interceptor in self.path_tls_interceptors:
+                chain = interceptor.intercept_chain(server_name, chain, self.zid, now)
+            for interceptor in self.host_tls_interceptors:
+                chain = interceptor.intercept_chain(server_name, chain, self.zid, now)
+            if obs.enabled:
+                obs.event(
+                    "tls.chain",
+                    actor=self.zid,
+                    target=server_name,
+                    attrs={"issuer": chain.leaf.issuer_cn, "depth": len(chain.certificates)},
+                )
         return chain
 
     # -- SMTP (§3.4 extension) -----------------------------------------------

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.lint.rules.base import Rule
 from repro.lint.rules.determinism import UnorderedIteration, UnseededRandom, WallClock
 from repro.lint.rules.faultplan import FaultPlanOnly
+from repro.lint.rules.observability import SimulatedTimeOnly
 from repro.lint.rules.safety import BroadExcept, MutableDefaults
 from repro.lint.rules.simulation import FrozenRecords
 from repro.lint.rules.sterility import SterileImports
@@ -17,6 +18,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClock(),        # DET002
     UnorderedIteration(),  # DET003
     FaultPlanOnly(),    # FLT001
+    SimulatedTimeOnly(),  # OBS001
     MutableDefaults(),  # SAFE001
     BroadExcept(),      # SAFE002
     FrozenRecords(),    # SIM001
@@ -37,6 +39,7 @@ __all__ = [
     "FrozenRecords",
     "MutableDefaults",
     "Rule",
+    "SimulatedTimeOnly",
     "SterileImports",
     "UnorderedIteration",
     "UnseededRandom",

@@ -1,0 +1,87 @@
+"""OBS001 — the observability plane itself must run on simulated time.
+
+The trace determinism contract (same spec ⇒ byte-identical trace for any
+worker count or crash/resume history) dies the moment an event timestamp
+comes from the host.  DET002 already bans wall-clock *calls* repo-wide, but
+the obs plane deserves a stricter gate: inside :mod:`repro.obs`, even
+*importing* ``time``/``datetime`` is a smell — except in the one module
+whose job is wall-clock profiling (``profiling.py``), which writes to a
+digest-excluded channel and never feeds the trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, call_name
+from repro.lint.rules.determinism import _DATETIME_ATTRS, _TIME_ATTRS
+
+#: The rule only applies inside the observability package.
+_OBS_PACKAGE = "repro/obs/"
+
+#: The single module allowed to touch the wall clock: its output goes to
+#: the ProfilingChannel, which is excluded from trace digests by design.
+_PROFILING_MODULE = "repro/obs/profiling.py"
+
+#: Modules whose import into the obs plane implies wall-clock intent.
+_BANNED_MODULES = {"time", "datetime"}
+
+
+class SimulatedTimeOnly(Rule):
+    """Forbid wall-clock access in ``repro.obs`` outside ``profiling.py``."""
+
+    rule_id = "OBS001"
+    title = "wall-clock access in the observability plane"
+    rationale = (
+        "Trace events are byte-comparable across worker counts and "
+        "crash/resume only because every timestamp is the SimClock reading. "
+        "Wall-clock reads anywhere in repro.obs except profiling.py (the "
+        "digest-excluded channel) would leak scheduling into the trace."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if _OBS_PACKAGE not in ctx.path or ctx.path.endswith(_PROFILING_MODULE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _BANNED_MODULES:
+                        yield self.finding(
+                            ctx, node, alias.name,
+                            f"'{alias.name}' must not be imported in the obs "
+                            "plane; wall-clock work belongs in "
+                            "repro.obs.profiling",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] in _BANNED_MODULES:
+                    yield self.finding(
+                        ctx, node, module,
+                        f"importing from '{module}' brings the wall clock "
+                        "into the obs plane; use the SimClock, or move the "
+                        "code to repro.obs.profiling",
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                if name.startswith("time.") and name.split(".", 1)[1] in _TIME_ATTRS:
+                    yield self.finding(
+                        ctx, node, name,
+                        f"'{name}()' reads the wall clock inside the obs "
+                        "plane; trace timestamps must come from the SimClock",
+                    )
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) >= 2
+                    and parts[-1] in _DATETIME_ATTRS
+                    and parts[-2] in ("datetime", "date")
+                ):
+                    yield self.finding(
+                        ctx, node, name,
+                        f"'{name}()' reads the wall clock inside the obs "
+                        "plane; trace timestamps must come from the SimClock",
+                    )

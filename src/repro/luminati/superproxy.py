@@ -170,6 +170,9 @@ class SuperProxy:
         if self._registry.by_zid(zid) is None:
             raise LookupError(f"cannot pin session to unknown zid {zid!r}")
         self._sessions.bind(session, zid)
+        obs = self._internet.obs
+        if obs.enabled:
+            obs.event("session.pin", actor="superproxy", target=zid, detail=session)
 
     # -- helpers ------------------------------------------------------------
 
@@ -207,8 +210,23 @@ class SuperProxy:
             if node.zid not in exclude_zids:
                 if options.session is not None:
                     self._sessions.bind(options.session, node.zid)
+                    obs = self._internet.obs
+                    if obs.enabled:
+                        obs.event(
+                            "session.bind", actor="superproxy",
+                            target=node.zid, detail=options.session,
+                        )
                 return node, False
         return None, False
+
+    def _drop_session(self, options: ProxyOptions) -> None:
+        """Drop a failed node's session binding (and record the drop)."""
+        if options.session is None:
+            return
+        self._sessions.drop(options.session)
+        obs = self._internet.obs
+        if obs.enabled:
+            obs.event("session.drop", actor="superproxy", detail=options.session)
 
     def _debug(self, node: Optional[RegisteredNode], attempts: list[AttemptRecord]) -> TimelineDebug:
         return TimelineDebug(
@@ -226,6 +244,33 @@ class SuperProxy:
         tracer: Optional[Tracer] = None,
     ) -> ProxyResult:
         """Proxy one HTTP request through an exit node (Figure 1's timeline)."""
+        obs = self._internet.obs
+        if not obs.enabled:
+            return self._handle_request(options, url, tracer)
+        with obs.span("proxy.request", actor="superproxy", detail=url):
+            result = self._handle_request(options, url, tracer)
+            obs.event(
+                "proxy.result",
+                actor="superproxy",
+                detail=result.error or "ok",
+                attrs={"status": result.status if result.status is not None else 0},
+            )
+        return result
+
+    def _note_attempt(self, attempts: list[AttemptRecord], zid: str, outcome: str) -> None:
+        """Record one failover attempt (and publish it on the event bus)."""
+        attempts.append(AttemptRecord(zid=zid, outcome=outcome))
+        obs = self._internet.obs
+        if obs.enabled:
+            obs.event("proxy.attempt", actor="superproxy", target=zid, detail=outcome)
+
+    def _handle_request(
+        self,
+        options: ProxyOptions,
+        url: str,
+        tracer: Optional[Tracer] = None,
+    ) -> ProxyResult:
+        obs = self._internet.obs
         trace = tracer if tracer is not None else Tracer()
         self._advance_time()
         self.requests_served += 1
@@ -234,6 +279,11 @@ class SuperProxy:
 
         if self._faults is not None and self._faults.superproxy_error(self.requests_served):
             trace.add("super proxy", "502 Bad Gateway", "client")
+            if obs.enabled:
+                obs.event(
+                    "proxy.502", actor="superproxy", detail=url,
+                    attrs={"request": self.requests_served},
+                )
             return ProxyResult(status=None, body=b"", error=ERROR_SUPERPROXY_502, debug=None)
 
         # DNS pre-check / default resolution at the super proxy via Google.
@@ -246,6 +296,11 @@ class SuperProxy:
         if not literal:
             trace.add("super proxy", "DNS request via Google", "authoritative DNS", host)
             answer = self._google.resolve_for_superproxy(host, self.ip)
+            if obs.enabled:
+                obs.event(
+                    "dns.google_precheck", actor="superproxy", target=host,
+                    attrs={"rcode": answer.rcode.name},
+                )
             if answer.is_nxdomain or not answer.addresses:
                 trace.add("super proxy", "DNS failure, request rejected", "client")
                 return ProxyResult(
@@ -263,17 +318,15 @@ class SuperProxy:
             tried.add(node.zid)
             dampen = self.PINNED_FLAKINESS_DAMPEN if pinned else 1.0
             if self._registry.is_offline(node, self._rng, dampen=dampen):
-                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
-                if options.session is not None:
-                    self._sessions.drop(options.session)
+                self._note_attempt(attempts, node.zid, "offline")
+                self._drop_session(options)
                 node = None
                 continue
             if self._faults is not None and self._faults.offline_window(
                 node.zid, self._internet.clock.now
             ):
-                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
-                if options.session is not None:
-                    self._sessions.drop(options.session)
+                self._note_attempt(attempts, node.zid, "offline")
+                self._drop_session(options)
                 node = None
                 continue
             trace.add("super proxy", "forward request", "exit node", node.zid)
@@ -288,16 +341,15 @@ class SuperProxy:
                 if exc.response.rcode is RCode.SERVFAIL:
                     # A broken resolver, not an authoritative answer about the
                     # name: refuse this node and fail over to the next peer.
-                    attempts.append(AttemptRecord(zid=node.zid, outcome="refused"))
+                    self._note_attempt(attempts, node.zid, "refused")
                     trace.add("exit node", "SERVFAIL from resolver", "super proxy")
-                    if options.session is not None:
-                        self._sessions.drop(options.session)
+                    self._drop_session(options)
                     node = None
                     continue
                 # The exit node's own resolver says the name does not exist.
                 # This is an authoritative answer about the *name*, not a node
                 # failure, so Luminati reports it rather than retrying.
-                attempts.append(AttemptRecord(zid=node.zid, outcome="dns_nxdomain"))
+                self._note_attempt(attempts, node.zid, "dns_nxdomain")
                 trace.add("exit node", "NXDOMAIN from resolver", "super proxy")
                 trace.add("super proxy", "error response", "client")
                 return ProxyResult(
@@ -307,14 +359,13 @@ class SuperProxy:
                     debug=self._debug(node, attempts),
                 )
             except FaultError as exc:
-                attempts.append(AttemptRecord(zid=node.zid, outcome=exc.kind))
+                self._note_attempt(attempts, node.zid, exc.kind)
                 trace.add("exit node", f"fault: {exc.kind}", "super proxy")
-                if options.session is not None:
-                    self._sessions.drop(options.session)
+                self._drop_session(options)
                 node = None
                 continue
             except UnreachableError:
-                attempts.append(AttemptRecord(zid=node.zid, outcome="connect_failed"))
+                self._note_attempt(attempts, node.zid, "connect_failed")
                 node = None
                 continue
             if (
@@ -324,13 +375,12 @@ class SuperProxy:
                 # The transfer outlived its simulated-time budget: discard the
                 # late response and fail over, exactly as the measurement
                 # client's per-request timeout would.
-                attempts.append(AttemptRecord(zid=node.zid, outcome=KIND_TIMEOUT))
+                self._note_attempt(attempts, node.zid, KIND_TIMEOUT)
                 trace.add("exit node", "response past deadline", "super proxy")
-                if options.session is not None:
-                    self._sessions.drop(options.session)
+                self._drop_session(options)
                 node = None
                 continue
-            attempts.append(AttemptRecord(zid=node.zid, outcome="ok"))
+            self._note_attempt(attempts, node.zid, "ok")
             self.ledger.record(node.zid, len(response.body))
             trace.add("exit node", "fetch content", "web server", url)
             trace.add("exit node", "return response", "super proxy")
@@ -367,28 +417,28 @@ class SuperProxy:
         """
         if port != 443:
             raise TunnelPortError(f"CONNECT is only allowed to port 443, not {port}")
-        self._advance_time()
-        self.requests_served += 1
-        attempts: list[AttemptRecord] = []
-        tried: set[str] = set()
-        for _attempt in range(MAX_ATTEMPTS):
-            node, pinned = self._select_node(options, tried)
-            if node is None:
-                break
-            tried.add(node.zid)
-            dampen = self.PINNED_FLAKINESS_DAMPEN if pinned else 1.0
-            if self._registry.is_offline(node, self._rng, dampen=dampen):
-                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
-                if options.session is not None:
-                    self._sessions.drop(options.session)
-                continue
-            if self._faults is not None and self._faults.offline_window(
-                node.zid, self._internet.clock.now
-            ):
-                attempts.append(AttemptRecord(zid=node.zid, outcome="offline"))
-                if options.session is not None:
-                    self._sessions.drop(options.session)
-                continue
-            attempts.append(AttemptRecord(zid=node.zid, outcome="ok"))
-            return node, self._debug(node, attempts)
-        return None, self._debug(None, attempts)
+        obs = self._internet.obs
+        with obs.span("proxy.tunnel", actor="superproxy", attrs={"port": port}):
+            self._advance_time()
+            self.requests_served += 1
+            attempts: list[AttemptRecord] = []
+            tried: set[str] = set()
+            for _attempt in range(MAX_ATTEMPTS):
+                node, pinned = self._select_node(options, tried)
+                if node is None:
+                    break
+                tried.add(node.zid)
+                dampen = self.PINNED_FLAKINESS_DAMPEN if pinned else 1.0
+                if self._registry.is_offline(node, self._rng, dampen=dampen):
+                    self._note_attempt(attempts, node.zid, "offline")
+                    self._drop_session(options)
+                    continue
+                if self._faults is not None and self._faults.offline_window(
+                    node.zid, self._internet.clock.now
+                ):
+                    self._note_attempt(attempts, node.zid, "offline")
+                    self._drop_session(options)
+                    continue
+                self._note_attempt(attempts, node.zid, "ok")
+                return node, self._debug(node, attempts)
+            return None, self._debug(None, attempts)

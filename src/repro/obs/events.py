@@ -1,0 +1,100 @@
+"""The observability plane's wire format: one frozen :class:`Event` record.
+
+Events are the simulation's flight recorder.  Every timestamp is *simulated*
+time (the shard world's :class:`~repro.net.clock.SimClock`), every attribute
+value is a string, and attribute sets are stored sorted — so the serialized
+form of a trace is a pure function of the run's spec, byte-identical across
+worker counts, interleavings, and crash/resume histories.  Wall-clock
+annotations never appear here; they live in the digest-excluded profiling
+channel (:mod:`repro.obs.profiling`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+#: Event kinds: a point-in-time marker, or the two ends of a span.
+KIND_INSTANT = "instant"
+KIND_BEGIN = "begin"
+KIND_END = "end"
+
+#: The event name the figure machinery (:mod:`repro.tracing`) publishes
+#: timeline steps under; the diagram is a filtered view over the bus.
+FIGURE_STEP = "figure.step"
+
+
+def freeze_attrs(attrs: Optional[Mapping[str, object]]) -> tuple[tuple[str, str], ...]:
+    """Canonicalize an attribute mapping: sorted keys, string values."""
+    if not attrs:
+        return ()
+    return tuple((key, str(attrs[key])) for key in sorted(attrs))
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One record on the event bus.
+
+    ``span``/``parent`` are recorder-local span ids (0 = none): an ``end``
+    event carries the same ``span`` id as its ``begin``, and nested spans
+    point at their enclosing span via ``parent``.  ``seq`` is the recorder's
+    emission counter — the total order within one shard even when simulated
+    time stands still.
+    """
+
+    ts: float
+    seq: int
+    name: str
+    kind: str = KIND_INSTANT
+    span: int = 0
+    parent: int = 0
+    actor: str = ""
+    target: str = ""
+    detail: str = ""
+    attrs: tuple[tuple[str, str], ...] = ()
+
+    def attr(self, key: str) -> Optional[str]:
+        """The value of one attribute, or ``None``."""
+        for name, value in self.attrs:
+            if name == key:
+                return value
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-able form; default-valued fields are omitted for compactness.
+
+        Omission is deterministic (a pure function of the field values), so
+        compact dicts are as digest-safe as exhaustive ones.
+        """
+        payload: dict = {"ts": self.ts, "seq": self.seq, "name": self.name}
+        if self.kind != KIND_INSTANT:
+            payload["kind"] = self.kind
+        if self.span:
+            payload["span"] = self.span
+        if self.parent:
+            payload["parent"] = self.parent
+        if self.actor:
+            payload["actor"] = self.actor
+        if self.target:
+            payload["target"] = self.target
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.attrs:
+            payload["attrs"] = {key: value for key, value in self.attrs}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Event":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            ts=float(payload["ts"]),
+            seq=int(payload["seq"]),
+            name=str(payload["name"]),
+            kind=str(payload.get("kind", KIND_INSTANT)),
+            span=int(payload.get("span", 0)),
+            parent=int(payload.get("parent", 0)),
+            actor=str(payload.get("actor", "")),
+            target=str(payload.get("target", "")),
+            detail=str(payload.get("detail", "")),
+            attrs=freeze_attrs(payload.get("attrs")),
+        )

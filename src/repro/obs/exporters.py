@@ -1,0 +1,115 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and friends.
+
+The JSONL event log and the metrics snapshot/Prometheus expositions live on
+:class:`~repro.obs.trace.TraceLog` and
+:class:`~repro.obs.metrics.MetricsRegistry`; this module holds the format
+translations.  Every exporter is a pure function of the deterministic trace,
+so exported artifacts inherit the byte-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.obs.events import KIND_BEGIN, KIND_END, KIND_INSTANT
+from repro.obs.metrics import MetricsRegistry, registry_from_events
+from repro.obs.trace import TraceLog
+
+#: Chrome trace-event phase codes by event kind.
+_PHASES = {KIND_BEGIN: "B", KIND_END: "E", KIND_INSTANT: "i"}
+
+
+def chrome_trace(trace: TraceLog) -> dict:
+    """The Chrome trace-event form: load in ``chrome://tracing`` / Perfetto.
+
+    Simulated seconds become microsecond timestamps; each shard maps to a
+    ``pid`` so per-shard span nesting renders as one track per shard.
+    """
+    trace_events = []
+    for line in trace.lines():
+        kind = line.get("kind", KIND_INSTANT)
+        record: dict = {
+            "name": line["name"],
+            "ph": _PHASES.get(kind, "i"),
+            "ts": round(float(line["ts"]) * 1e6, 3),
+            "pid": line.get("shard", 0),
+            "tid": 0,
+        }
+        if kind == KIND_INSTANT:
+            record["s"] = "t"
+        args = {
+            key: line[key]
+            for key in ("actor", "target", "detail", "seq", "span", "parent")
+            if key in line
+        }
+        args.update(line.get("attrs", {}))
+        if args:
+            record["args"] = args
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "source": "repro.obs"},
+    }
+
+
+def chrome_trace_json(trace: TraceLog) -> str:
+    """Canonical JSON of :func:`chrome_trace`."""
+    return json.dumps(chrome_trace(trace), sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def registry_from_trace(trace: TraceLog) -> MetricsRegistry:
+    """Re-derive the ``obs_*`` metrics from an exported trace file.
+
+    Shards are processed in index order; span pairing happens within each
+    shard's stream, matching how the live per-shard registries were built.
+    """
+    registry = MetricsRegistry()
+    for _index, events in trace.shards:
+        registry_from_events(events, registry)
+    return registry
+
+
+def export_trace(trace: TraceLog, format: str) -> str:
+    """Render a trace in one of the supported formats.
+
+    ``jsonl`` — the canonical event log (digest-bearing bytes);
+    ``chrome`` — Chrome trace-event JSON;
+    ``prom`` — Prometheus text exposition of the trace-derived metrics;
+    ``snapshot`` — canonical JSON metrics snapshot of the same.
+    """
+    if format == "jsonl":
+        return trace.to_jsonl()
+    if format == "chrome":
+        return chrome_trace_json(trace)
+    if format == "prom":
+        return registry_from_trace(trace).prometheus_text()
+    if format == "snapshot":
+        return registry_from_trace(trace).snapshot_json() + "\n"
+    raise ValueError(f"unknown trace export format: {format!r}")
+
+
+def render_summary(summary: Mapping) -> str:
+    """Human-readable form of :meth:`TraceLog.summarize`."""
+    lines = [
+        f"events: {summary['events']} across {summary['shards']} shard(s), "
+        f"{summary['spans']} spans",
+    ]
+    if summary.get("sim_last_ts") is not None:
+        lines.append(
+            f"simulated time: {summary['sim_first_ts']:.3f}s .. "
+            f"{summary['sim_last_ts']:.3f}s"
+        )
+    names = summary.get("names", {})
+    if names:
+        lines.append("event counts:")
+        for name in sorted(names):
+            lines.append(f"  {name:28s} {names[name]}")
+    faults = summary.get("faults", {})
+    if faults:
+        lines.append(
+            "faults: " + ", ".join(f"{kind}={faults[kind]}" for kind in sorted(faults))
+        )
+    lines.append(f"digest: {summary['digest']}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Run-level trace assembly: per-shard event streams, one deterministic log.
+
+A shard's events ride inside its result dict (so the checkpoint journal
+replays them on ``--resume`` exactly like datasets), and the run-level
+:class:`TraceLog` concatenates shards in **shard-index order** — never
+completion order.  Its JSONL serialization is therefore a pure function of
+the study spec, and :meth:`TraceLog.digest` (SHA-256 over those bytes) is
+the run's trace identity, recorded in the run metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.obs.events import KIND_BEGIN, KIND_INSTANT
+
+
+def canonical_line(payload: Mapping) -> str:
+    """One canonical JSONL line (sorted keys, fixed separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True, slots=True)
+class TraceLog:
+    """An assembled run trace: ``(shard index, event dicts)`` in index order."""
+
+    shards: tuple[tuple[int, tuple[dict, ...]], ...]
+
+    @classmethod
+    def from_shard_payloads(cls, payloads: Mapping[int, Sequence[Mapping]]) -> "TraceLog":
+        """Assemble from per-shard event-dict lists keyed by shard index."""
+        return cls(
+            shards=tuple(
+                (index, tuple(dict(event) for event in payloads[index]))
+                for index in sorted(payloads)
+            )
+        )
+
+    def lines(self) -> Iterator[dict]:
+        """Every event dict, tagged with its shard, in deterministic order."""
+        for index, events in self.shards:
+            for event in events:
+                yield {"shard": index, **event}
+
+    def __len__(self) -> int:
+        return sum(len(events) for _index, events in self.shards)
+
+    def to_jsonl(self) -> str:
+        """The canonical JSONL serialization (one event per line)."""
+        return "".join(canonical_line(line) + "\n" for line in self.lines())
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`to_jsonl` — the run's trace identity."""
+        return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceLog":
+        """Parse a trace written by :meth:`to_jsonl` (shard tags regroup it)."""
+        payloads: dict[int, list[dict]] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            shard = int(record.pop("shard", 0))
+            payloads.setdefault(shard, []).append(record)
+        return cls.from_shard_payloads(payloads)
+
+    def summarize(self) -> dict:
+        """Aggregate view: counts by name, span/fault totals, sim time span."""
+        names: dict[str, int] = {}
+        faults: dict[str, int] = {}
+        spans = 0
+        first_ts: float | None = None
+        last_ts: float | None = None
+        for line in self.lines():
+            names[line["name"]] = names.get(line["name"], 0) + 1
+            kind = line.get("kind", KIND_INSTANT)
+            if kind == KIND_BEGIN:
+                spans += 1
+            if line["name"] == "fault.injected":
+                fault_kind = line.get("attrs", {}).get("kind", "unknown")
+                faults[fault_kind] = faults.get(fault_kind, 0) + 1
+            ts = float(line["ts"])
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        return {
+            "events": len(self),
+            "shards": len(self.shards),
+            "spans": spans,
+            "names": {name: names[name] for name in sorted(names)},
+            "faults": {kind: faults[kind] for kind in sorted(faults)},
+            "sim_first_ts": first_ts,
+            "sim_last_ts": last_ts,
+            "digest": self.digest(),
+        }

@@ -1,18 +1,27 @@
-"""Protocol timeline capture (Figures 1–4).
+"""Protocol timeline capture (Figures 1–4), as a view over the obs event bus.
 
 Figures 1–4 of the paper are *timeline diagrams* of who talks to whom during
 a request: the Luminati request path (Fig. 1), the NXDOMAIN measurement
 (Fig. 2), the HTTPS two-phase scan (Fig. 3), and the monitoring probe
 (Fig. 4).  We reproduce them as machine-checkable event traces: components
-append :class:`TraceStep` records to a :class:`Timeline`, tests assert the
-step sequence matches the paper's diagram, and :meth:`Timeline.render`
-produces the human-readable figure.
+append steps to a :class:`Timeline`, tests assert the step sequence matches
+the paper's diagram, and :meth:`Timeline.render` produces the figure.
+
+Since the observability plane landed, a :class:`Timeline` is a *frozen* view
+over a :class:`~repro.obs.recorder.TraceRecorder` bus: each step is an
+``figure.step`` event, and :attr:`Timeline.steps` derives the immutable
+:class:`TraceStep` records back out of it.  Figures and the obs plane share
+one source of truth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
+
+from repro.net.clock import SimClock
+from repro.obs.events import FIGURE_STEP
+from repro.obs.recorder import TraceRecorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,16 +39,46 @@ class TraceStep:
         return f"{self.actor}{arrow}: {self.action}"
 
 
-@dataclass(slots=True)
+def _figure_bus() -> TraceRecorder:
+    """A standalone event bus for figure capture (private simulated clock)."""
+    return TraceRecorder(SimClock())
+
+
+@dataclass(frozen=True, slots=True)
 class Timeline:
-    """An ordered protocol trace with a title, renderable as a figure."""
+    """An ordered protocol trace with a title, renderable as a figure.
+
+    The record itself is frozen; steps accumulate on the underlying ``bus``
+    (an obs :class:`~repro.obs.recorder.TraceRecorder`), whose events are
+    immutable evidence.
+    """
 
     title: str
-    steps: list[TraceStep] = field(default_factory=list)
+    bus: TraceRecorder = field(default_factory=_figure_bus)
 
     def add(self, actor: str, action: str, target: str = "", detail: str = "") -> None:
-        """Append one step."""
-        self.steps.append(TraceStep(actor=actor, action=action, target=target, detail=detail))
+        """Append one step (published as a ``figure.step`` event)."""
+        self.bus.event(
+            FIGURE_STEP,
+            actor=actor,
+            target=target,
+            detail=detail,
+            attrs={"action": action},
+        )
+
+    @property
+    def steps(self) -> list[TraceStep]:
+        """The figure's steps, derived from the bus in emission order."""
+        return [
+            TraceStep(
+                actor=event.actor,
+                action=event.attr("action") or "",
+                target=event.target,
+                detail=event.detail,
+            )
+            for event in self.bus.events
+            if event.name == FIGURE_STEP
+        ]
 
     def labels(self) -> list[str]:
         """All step labels in order (what tests compare against the diagrams)."""

@@ -1,0 +1,17 @@
+"""OBS001 bad fixture: wall-clock reads inside the observability plane.
+
+Lives under a ``repro/obs/`` directory because the rule is scoped to the
+obs package; identical code elsewhere is DET002's business.  (It trips
+DET002 here too — the OBS001 tests run with ``select=("OBS001",)``.)
+"""
+
+import time
+from datetime import datetime
+
+
+def span_started() -> float:
+    return time.perf_counter()
+
+
+def event_stamp() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,12 @@
+"""OBS001 good fixture: trace timestamps come from the simulated clock."""
+
+
+class Recorder:
+    """Every event reads ``clock.now`` — never the host's wall clock."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._events = []
+
+    def event(self, name: str) -> None:
+        self._events.append((self._clock.now, name))

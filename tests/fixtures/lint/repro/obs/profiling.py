@@ -1,0 +1,12 @@
+"""OBS001 exemption fixture: ``repro/obs/profiling.py`` may use the wall clock.
+
+The profiling channel is digest-excluded by design, so the one module named
+``profiling.py`` inside the obs package is allowed to read host time.
+(DET002 still flags it repo-wide; the real module carries an allow entry.)
+"""
+
+import time
+
+
+def wall_section() -> float:
+    return time.perf_counter()

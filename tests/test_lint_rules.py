@@ -127,3 +127,41 @@ class TestFaultPlanRule:
         source = self.BAD.read_text(encoding="utf-8")
         findings = fixture_engine().lint_source(source, "repro/engine/elsewhere.py")
         assert "FLT001" not in {f.rule for f in findings}
+
+
+class TestObservabilityRule:
+    """OBS001 is path-scoped to ``repro/obs/`` and exempts ``profiling.py``.
+
+    Its bad fixture's wall-clock reads also trip DET002 (by design — the
+    rules overlap inside the obs plane), so these tests select OBS001 alone.
+    """
+
+    BAD = FIXTURES / "repro" / "obs" / "obs001_bad.py"
+    GOOD = FIXTURES / "repro" / "obs" / "obs001_good.py"
+    PROFILING = FIXTURES / "repro" / "obs" / "profiling.py"
+
+    @staticmethod
+    def engine() -> LintEngine:
+        return LintEngine(LintConfig(select=("OBS001",)))
+
+    def test_bad_fixture_fires(self):
+        findings = self.engine().lint_file(self.BAD, FIXTURES)
+        assert findings, "OBS001 bad fixture produced no findings"
+        assert {f.rule for f in findings} == {"OBS001"}
+        assert {f.symbol for f in findings} == {
+            "time", "datetime", "time.perf_counter", "datetime.now",
+        }
+        assert all(f.path == "repro/obs/obs001_bad.py" for f in findings)
+
+    def test_good_fixture_is_silent(self):
+        findings = self.engine().lint_file(self.GOOD, FIXTURES)
+        assert findings == [], f"obs001_good.py should be clean: {findings}"
+
+    def test_profiling_module_is_exempt(self):
+        findings = self.engine().lint_file(self.PROFILING, FIXTURES)
+        assert findings == [], f"profiling.py is the wall-clock channel: {findings}"
+
+    def test_rule_is_scoped_to_obs_package(self):
+        source = self.BAD.read_text(encoding="utf-8")
+        findings = self.engine().lint_source(source, "repro/engine/elsewhere.py")
+        assert findings == []
