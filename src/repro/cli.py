@@ -362,19 +362,48 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import LintConfig, LintEngine, load_baseline, write_baseline
-    from repro.lint.reporters import render_json, render_text
+    # Exit-code contract: 0 = clean, 1 = findings or stale baseline,
+    # 2 = internal analysis error.  Unparseable *target* files are PARSE001
+    # findings (exit 1), never tracebacks; only a genuine analyzer bug
+    # reaches this handler.
+    try:
+        return _run_lint(args)
+    except Exception as exc:
+        if args.debug:
+            raise
+        print(f"repro lint: internal error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        ProgramAnalyzer,
+        load_baseline,
+        prune_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
+    from repro.lint.engine import iter_rule_docs, scope_predicate
 
     root = pathlib.Path(args.root).resolve()
     paths = args.paths or ["src"]
-    engine = LintEngine(LintConfig.load(root))
-    if not engine.discover(paths, root):
+    analyzer = ProgramAnalyzer(
+        LintConfig.load(root),
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+    )
+    if not analyzer.engine.discover(paths, root):
         print(
             f"warning: no python files found under {', '.join(map(str, paths))} "
             f"(root: {root})",
             file=sys.stderr,
         )
-    findings = engine.lint_paths(paths, root=root)
+    result = analyzer.lint_paths(paths, root=root)
+    findings = result.findings
 
     baseline_path = pathlib.Path(args.baseline) if args.baseline else root / "lint-baseline.json"
     if args.write_baseline:
@@ -384,16 +413,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             f"({len(baseline.entries)} entries; justify each before committing)"
         )
         return 0
+    if args.prune_baseline:
+        _pruned, removed = prune_baseline(findings, baseline_path)
+        print(
+            f"pruned {len(removed)} stale baseline entr"
+            f"{'y' if len(removed) == 1 else 'ies'} from {baseline_path}",
+            file=sys.stderr,
+        )
 
     baseline = load_baseline(baseline_path)
     new, suppressed, stale = baseline.split(findings)
     # A subtree scan says nothing about entries for files it never visited.
-    from repro.lint.engine import scope_predicate
-
     covers = scope_predicate(paths, root)
     stale = [entry for entry in stale if covers(entry.path)]
+    if args.sarif:
+        sarif_path = pathlib.Path(args.sarif)
+        sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        sarif_path.write_text(
+            render_sarif(new, rule_docs=tuple(iter_rule_docs())), encoding="utf-8"
+        )
+        print(f"SARIF report written to {sarif_path}", file=sys.stderr)
     render = render_json if args.format == "json" else render_text
     sys.stdout.write(render(new, suppressed=suppressed, stale=stale))
+    print(
+        "analyzed {files} file(s): {parsed} parsed, {cached} from cache".format(
+            **result.stats
+        ),
+        file=sys.stderr,
+    )
     return 1 if new or stale else 0
 
 
@@ -515,6 +562,31 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--write-baseline", action="store_true",
         help="write current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--prune-baseline", action="store_true",
+        help="delete stale baseline entries before reporting",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse files on N worker processes (default: 1, serial)",
+    )
+    lint.add_argument(
+        "--sarif", metavar="PATH",
+        help="also write a SARIF 2.1.0 report (with source→sink code flows) "
+        "to PATH for CI annotation",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental analysis cache",
+    )
+    lint.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="incremental cache location (default: <root>/.repro-lint-cache)",
+    )
+    lint.add_argument(
+        "--debug", action="store_true",
+        help="let internal analyzer errors traceback instead of exiting 2",
     )
 
     return parser

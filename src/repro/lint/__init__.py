@@ -23,10 +23,17 @@ See ``docs/static_analysis.md`` for the rule catalogue and the baseline
 workflow, and ``repro lint --help`` for the CLI.
 """
 
-from repro.lint.baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    prune_baseline,
+    write_baseline,
+)
 from repro.lint.config import LintConfig
-from repro.lint.engine import FileContext, Finding, LintEngine
-from repro.lint.reporters import render_json, render_text
+from repro.lint.engine import FileContext, Finding, LintEngine, TraceStep
+from repro.lint.program import ProgramAnalyzer, ProgramResult
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES, get_rule
 
 __all__ = [
@@ -37,9 +44,14 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintEngine",
+    "ProgramAnalyzer",
+    "ProgramResult",
+    "TraceStep",
     "get_rule",
     "load_baseline",
+    "prune_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "write_baseline",
 ]

@@ -92,6 +92,35 @@ def load_baseline(path: str | pathlib.Path) -> Baseline:
     return Baseline(entries=entries)
 
 
+def prune_baseline(
+    findings: Sequence[Finding], path: str | pathlib.Path
+) -> tuple[Baseline, list[BaselineEntry]]:
+    """Delete stale entries from the baseline file (the ``--prune-baseline`` fixer).
+
+    Returns the pruned baseline and the entries that were removed.  The file
+    is rewritten only when something was actually stale, so a clean run never
+    touches its mtime.
+    """
+    existing = load_baseline(path)
+    _new, _suppressed, stale = existing.split(findings)
+    if not stale:
+        return existing, []
+    stale_fingerprints = {entry.fingerprint for entry in stale}
+    kept = tuple(
+        entry
+        for entry in existing.entries
+        if entry.fingerprint not in stale_fingerprints
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.as_dict() for entry in kept],
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return Baseline(entries=kept), list(stale)
+
+
 def write_baseline(
     findings: Iterable[Finding],
     path: str | pathlib.Path,

@@ -10,6 +10,8 @@ never silently remove the built-in ones.
 from __future__ import annotations
 
 import fnmatch
+import hashlib
+import json
 import pathlib
 import tomllib
 from dataclasses import dataclass, field
@@ -37,6 +39,25 @@ DEFAULT_EXCLUDE: tuple[str, ...] = (
     "*/.*/*",
 )
 
+#: Call patterns the whole-program taint pass treats as determinism *sinks* —
+#: the protocol points whose inputs become part of a run's published identity.
+#: Matched (fnmatch) against the as-written dotted name, its last component,
+#: and the resolved project symbol.  Deliberately *not* generic hashing:
+#: seed-derived hashing is the simulation's core mechanism and is fine.
+DEFAULT_FLOW_SINKS: tuple[str, ...] = (
+    "stable_digest",
+    "run_digest",
+    "RunManifest",
+    "*.append_shard",
+    "*.from_shard_payloads",
+    "*.merge_all",
+)
+
+#: Fully-qualified function patterns treated as ProcessExecutor worker
+#: entrypoints for the shard-race pass, in addition to the ones detected
+#: syntactically (functions passed by name into ``*.run`` / ``*.submit``).
+DEFAULT_WORKER_ENTRYPOINTS: tuple[str, ...] = ()
+
 
 @dataclass(frozen=True, slots=True)
 class LintConfig:
@@ -48,6 +69,8 @@ class LintConfig:
     record_modules: tuple[str, ...] = DEFAULT_RECORD_MODULES
     exclude: tuple[str, ...] = DEFAULT_EXCLUDE
     select: tuple[str, ...] | None = None
+    flow_sinks: tuple[str, ...] = DEFAULT_FLOW_SINKS
+    worker_entrypoints: tuple[str, ...] = DEFAULT_WORKER_ENTRYPOINTS
 
     @classmethod
     def default(cls) -> "LintConfig":
@@ -74,7 +97,23 @@ class LintConfig:
             dict.fromkeys(DEFAULT_EXCLUDE + tuple(table.get("exclude", ())))
         )
         select = tuple(table["select"]) if "select" in table else None
-        return cls(allow=allow, record_modules=record, exclude=exclude, select=select)
+        flow_sinks = tuple(
+            dict.fromkeys(DEFAULT_FLOW_SINKS + tuple(table.get("flow-sinks", ())))
+        )
+        workers = tuple(
+            dict.fromkeys(
+                DEFAULT_WORKER_ENTRYPOINTS
+                + tuple(table.get("worker-entrypoints", ()))
+            )
+        )
+        return cls(
+            allow=allow,
+            record_modules=record,
+            exclude=exclude,
+            select=select,
+            flow_sinks=flow_sinks,
+            worker_entrypoints=workers,
+        )
 
     @classmethod
     def load(cls, root: str | pathlib.Path) -> "LintConfig":
@@ -85,6 +124,19 @@ class LintConfig:
             if pyproject.is_file():
                 return cls.from_pyproject(pyproject)
         return cls.default()
+
+    def signature(self) -> str:
+        """Stable digest of the configuration, for cache invalidation."""
+        payload = {
+            "allow": {rule: list(globs) for rule, globs in sorted(self.allow.items())},
+            "record_modules": list(self.record_modules),
+            "exclude": list(self.exclude),
+            "select": list(self.select) if self.select is not None else None,
+            "flow_sinks": list(self.flow_sinks),
+            "worker_entrypoints": list(self.worker_entrypoints),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def is_allowed(self, rule_id: str, relpath: str) -> bool:
         """True when ``relpath`` is exempt from ``rule_id`` by configuration."""

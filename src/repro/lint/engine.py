@@ -11,12 +11,27 @@ import ast
 import fnmatch
 import pathlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.lint.config import LintConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.lint.rules.base import Rule
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One hop of a whole-program source→sink path trace."""
+
+    path: str
+    line: int
+    note: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.note}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,7 +41,8 @@ class Finding:
     ``symbol`` is the stable name of the offending construct (for example
     ``time.perf_counter`` or a class name) — baselines match on
     ``(rule, path, symbol)`` so they survive unrelated edits that shift line
-    numbers.
+    numbers.  Whole-program findings additionally carry ``trace``, the full
+    source→sink path (one :class:`TraceStep` per hop).
     """
 
     rule: str
@@ -35,6 +51,7 @@ class Finding:
     col: int
     symbol: str
     message: str
+    trace: tuple[TraceStep, ...] = ()
 
     @property
     def sort_key(self) -> tuple[str, int, int, str, str]:
@@ -47,8 +64,12 @@ class Finding:
         return (self.rule, self.path, self.symbol)
 
     def as_dict(self) -> dict[str, object]:
-        """JSON-ready representation (keys sorted by the reporter)."""
-        return {
+        """JSON-ready representation (keys sorted by the reporter).
+
+        ``trace`` is included only when present, so per-file findings keep
+        their historical key set byte-for-byte.
+        """
+        payload: dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -56,6 +77,28 @@ class Finding:
             "symbol": self.symbol,
             "message": self.message,
         }
+        if self.trace:
+            payload["trace"] = [step.as_dict() for step in self.trace]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`as_dict` output (cache layer)."""
+        trace = tuple(
+            TraceStep(
+                path=str(step["path"]), line=int(step["line"]), note=str(step["note"])  # type: ignore[index]
+            )
+            for step in payload.get("trace", ())  # type: ignore[union-attr]
+        )
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            symbol=str(payload["symbol"]),
+            message=str(payload["message"]),
+            trace=trace,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -125,21 +168,33 @@ class LintEngine:
 
     # -- linting -----------------------------------------------------------
 
-    def lint_source(self, source: str, relpath: str) -> list[Finding]:
-        """Lint a source string as if it lived at ``relpath``."""
+    def parse_source(
+        self, source: str, relpath: str
+    ) -> tuple[ast.Module | None, list[Finding]]:
+        """Parse once for all rules; a syntax error becomes a PARSE001 finding.
+
+        An unparseable file is a *finding*, never a traceback — the gate must
+        report it and keep scanning the rest of the tree.
+        """
         try:
-            tree = ast.parse(source, filename=relpath)
-        except SyntaxError as exc:
-            return [
+            return ast.parse(source, filename=relpath), []
+        except (SyntaxError, ValueError) as exc:
+            lineno = getattr(exc, "lineno", 0) or 0
+            offset = getattr(exc, "offset", 0) or 0
+            msg = getattr(exc, "msg", None) or str(exc)
+            return None, [
                 Finding(
-                    rule="PARSE",
+                    rule="PARSE001",
                     path=relpath,
-                    line=exc.lineno or 0,
-                    col=exc.offset or 0,
+                    line=lineno,
+                    col=offset,
                     symbol="syntax-error",
-                    message=f"file does not parse: {exc.msg}",
+                    message=f"file does not parse: {msg}",
                 )
             ]
+
+    def lint_parsed(self, tree: ast.Module, relpath: str) -> list[Finding]:
+        """Run every enabled per-file rule over an already-parsed module."""
         context = FileContext(path=relpath, tree=tree, config=self.config)
         findings: list[Finding] = []
         for rule in self.rules:
@@ -148,10 +203,30 @@ class LintEngine:
             findings.extend(rule.check(context))
         return sorted(findings, key=lambda f: f.sort_key)
 
+    def lint_source(self, source: str, relpath: str) -> list[Finding]:
+        """Lint a source string as if it lived at ``relpath``."""
+        tree, parse_findings = self.parse_source(source, relpath)
+        if tree is None:
+            return parse_findings
+        return self.lint_parsed(tree, relpath)
+
     def lint_file(self, path: pathlib.Path, root: pathlib.Path) -> list[Finding]:
         """Lint one file on disk; the finding paths are relative to ``root``."""
         relpath = self._relpath(path, root)
-        return self.lint_source(path.read_text(encoding="utf-8"), relpath)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [
+                Finding(
+                    rule="PARSE001",
+                    path=relpath,
+                    line=0,
+                    col=0,
+                    symbol="unreadable",
+                    message=f"file cannot be read: {exc}",
+                )
+            ]
+        return self.lint_source(source, relpath)
 
     def lint_paths(
         self,
@@ -197,9 +272,26 @@ def scope_predicate(
     return covers
 
 
+PARSE_RULE_DOC: tuple[str, str, str] = (
+    "PARSE001",
+    "file cannot be parsed or read",
+    "An unparseable file is invisible to every other rule; the gate must "
+    "surface it as a finding instead of crashing or silently skipping it.",
+)
+
+
 def iter_rule_docs() -> Iterator[tuple[str, str, str]]:
-    """``(rule_id, title, rationale)`` triples for every registered rule."""
+    """``(rule_id, title, rationale)`` triples for every registered rule.
+
+    Covers the per-file rules, the engine-level PARSE001, and the
+    whole-program flow/race rules.
+    """
+    from repro.lint.program.races import RACE_RULE_DOCS
+    from repro.lint.program.taint import FLOW_RULE_DOCS
     from repro.lint.rules import ALL_RULES
 
     for rule in ALL_RULES:
         yield rule.rule_id, rule.title, rule.rationale
+    yield PARSE_RULE_DOC
+    yield from FLOW_RULE_DOCS
+    yield from RACE_RULE_DOCS

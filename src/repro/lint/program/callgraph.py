@@ -1,0 +1,141 @@
+"""The project-wide function index and call graph.
+
+Built from :class:`~repro.lint.program.symbols.ModuleSummary` records only —
+no ASTs — so it can be reassembled from the incremental cache without
+re-parsing a single unchanged file.
+
+Resolution is *candidate-based*: each module's summary records, for every
+call, the fully-qualified project symbol the import map suggests.  The index
+keeps only edges whose candidate actually names a known function, which makes
+the graph immune to stdlib/builtin noise (``json.dumps`` never becomes an
+edge; its argument taint was already folded conservatively at summary time).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.program.symbols import FunctionSummary, ModuleSummary
+
+
+@dataclass(slots=True)
+class ProgramIndex:
+    """Every function in the scanned program, plus the resolved call graph."""
+
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    path_of: dict[str, str] = field(default_factory=dict)  # function id -> file
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    worker_entries: tuple[str, ...] = ()
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, summaries: Iterable[ModuleSummary], config: LintConfig
+    ) -> "ProgramIndex":
+        index = cls()
+        ordered = sorted(summaries, key=lambda s: s.path)
+        for summary in ordered:
+            index.modules[summary.module] = summary
+            for function in summary.functions:
+                index.functions[function.qualname] = function
+                index.path_of[function.qualname] = summary.path
+
+        entries: dict[str, None] = {}
+        for summary in ordered:
+            for entry in summary.worker_entries:
+                if entry in index.functions:
+                    entries.setdefault(entry)
+        # Config-declared entrypoints (patterns over fully-qualified names).
+        for pattern in config.worker_entrypoints:
+            for qualname in sorted(index.functions):
+                if fnmatch.fnmatch(qualname, pattern):
+                    entries.setdefault(qualname)
+        index.worker_entries = tuple(entries)
+
+        for qualname in sorted(index.functions):
+            function = index.functions[qualname]
+            callees: dict[str, None] = {}
+            for call in function.calls:
+                callee = index.resolve_callee(call.callee)
+                if callee is not None:
+                    callees.setdefault(callee)
+            index.edges[qualname] = tuple(callees)
+        return index
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve_callee(self, candidate: str, hops: int = 6) -> str | None:
+        """Map a call candidate to a known function id.
+
+        Handles the indirections a summary cannot see locally: a call to a
+        class name is a call to its ``__init__``, and a call through a
+        re-export (``from repro.sim import WorldConfig`` where the class
+        lives in ``repro.sim.config``) is chased through each package's own
+        recorded import map, bounded at ``hops`` rewrites.
+        """
+        seen: set[str] = set()
+        current = candidate
+        for _hop in range(hops):
+            if current in self.functions:
+                return current
+            init = f"{current}.__init__"
+            if init in self.functions:
+                return init
+            if current in seen:
+                return None
+            seen.add(current)
+            rewritten = self._chase_reexport(current)
+            if rewritten is None:
+                return None
+            current = rewritten
+        return None
+
+    def _chase_reexport(self, candidate: str) -> str | None:
+        """One rewrite through the longest module prefix's import map.
+
+        ``repro.sim.WorldConfig.from_env`` → the module ``repro.sim`` maps
+        local name ``WorldConfig`` to ``repro.sim.config.WorldConfig``, so
+        the candidate becomes ``repro.sim.config.WorldConfig.from_env``.
+        """
+        parts = candidate.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            local = parts[cut]
+            rest = parts[cut + 1:]
+            for name, target in summary.imports:
+                if name == local:
+                    rewritten = ".".join([target] + rest)
+                    if rewritten != candidate:
+                        return rewritten
+                    return None
+            return None
+        return None
+
+    # -- traversal -----------------------------------------------------------
+
+    def reachable_from(self, roots: Sequence[str]) -> dict[str, tuple[str, ...]]:
+        """BFS closure: function id → shortest call path from the nearest root."""
+        paths: dict[str, tuple[str, ...]] = {}
+        queue: deque[str] = deque()
+        for root in roots:
+            if root in self.functions and root not in paths:
+                paths[root] = (root,)
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            for callee in self.edges.get(current, ()):
+                if callee not in paths:
+                    paths[callee] = paths[current] + (callee,)
+                    queue.append(callee)
+        return paths
+
+    def iter_functions(self) -> Iterator[FunctionSummary]:
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]

@@ -1,0 +1,112 @@
+"""Static shard-race detection over the worker-reachable call graph.
+
+The study engine's determinism story for multi-worker runs rests on one
+rule: a shard communicates with the rest of the program *only* through its
+seed (in) and its returned payload (merged deterministically, out).  Any
+other channel — module-level mutable state, a shared memo cache — is a race
+under ``ProcessExecutor`` and, worse, a *silent divergence* under
+``SerialExecutor`` vs process pools (each process mutates its own copy).
+
+* ``RACE001`` — a module-level mutable object (list/dict/set/deque/…)
+  is mutated inside a function reachable from a worker entrypoint.
+* ``RACE002`` — a ``functools.lru_cache``/``cache``-decorated function is
+  reachable from a worker entrypoint: per-process caches hide cross-shard
+  nondeterminism and retain state across shards within one worker.
+
+Both findings carry the entrypoint→function call path as their trace.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Finding, TraceStep
+
+from repro.lint.program.callgraph import ProgramIndex
+
+RACE_RULE_DOCS: tuple[tuple[str, str, str], ...] = (
+    (
+        "RACE001",
+        "worker-reachable mutation of module-level mutable state",
+        "Shards may only communicate through seeds and returned payloads; "
+        "a module-level list/dict mutated under a worker diverges between "
+        "serial and process execution and races across threads.",
+    ),
+    (
+        "RACE002",
+        "worker-reachable lru_cache/cache-decorated function",
+        "Per-process memo caches retain state across shards within one "
+        "worker, so results depend on shard-to-worker placement.",
+    ),
+)
+
+
+def _call_path_trace(
+    index: ProgramIndex, path_ids: tuple[str, ...]
+) -> tuple[TraceStep, ...]:
+    steps = []
+    for position, fid in enumerate(path_ids):
+        function = index.functions[fid]
+        file_path = index.path_of[fid]
+        short = fid.rpartition(".")[2]
+        note = (
+            f"worker entrypoint {short}()"
+            if position == 0
+            else f"called from {path_ids[position - 1].rpartition('.')[2]}()"
+        )
+        steps.append(TraceStep(file_path, function.line, note))
+    return tuple(steps)
+
+
+def detect_races(index: ProgramIndex) -> list[Finding]:
+    """All RACE001/RACE002 findings for one program index."""
+    findings: list[Finding] = []
+    reachable = index.reachable_from(index.worker_entries)
+    for fid in sorted(reachable):
+        function = index.functions[fid]
+        file_path = index.path_of[fid]
+        trace = _call_path_trace(index, reachable[fid])
+        if function.cached:
+            findings.append(
+                Finding(
+                    rule="RACE002",
+                    path=file_path,
+                    line=function.line,
+                    col=0,
+                    symbol=fid.rpartition(".")[2],
+                    message=(
+                        f"{fid} is cache-decorated and reachable from worker "
+                        f"entrypoint {reachable[fid][0]}: per-worker memo "
+                        "state leaks across shards"
+                    ),
+                    trace=trace
+                    + (
+                        TraceStep(
+                            file_path, function.line,
+                            "cache-decorated function executes under a worker",
+                        ),
+                    ),
+                )
+            )
+        for mutation in function.mutations:
+            findings.append(
+                Finding(
+                    rule="RACE001",
+                    path=file_path,
+                    line=mutation.line,
+                    col=0,
+                    symbol=f"{mutation.name}@{fid.rpartition('.')[2]}",
+                    message=(
+                        f"module-level mutable '{mutation.name}' mutated "
+                        f"({mutation.how}) in {fid}, which is reachable from "
+                        f"worker entrypoint {reachable[fid][0]}"
+                    ),
+                    trace=trace
+                    + (
+                        TraceStep(
+                            file_path, mutation.line,
+                            f"mutates module-level '{mutation.name}' "
+                            f"({mutation.how})",
+                        ),
+                    ),
+                )
+            )
+    return sorted(findings, key=lambda f: f.sort_key)

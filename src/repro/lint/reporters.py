@@ -39,11 +39,17 @@ def render_text(
     suppressed: Sequence[Finding] = (),
     stale: Sequence[BaselineEntry] = (),
 ) -> str:
-    """``path:line:col RULE symbol — message`` lines plus a summary."""
-    lines = [
-        f"{f.path}:{f.line}:{f.col} {f.rule} [{f.symbol}] {f.message}"
-        for f in sorted(findings, key=lambda f: f.sort_key)
-    ]
+    """``path:line:col RULE symbol — message`` lines plus a summary.
+
+    Whole-program findings print their full source→sink path trace as
+    indented hop lines beneath the finding.
+    """
+    lines: list[str] = []
+    for f in sorted(findings, key=lambda f: f.sort_key):
+        lines.append(f"{f.path}:{f.line}:{f.col} {f.rule} [{f.symbol}] {f.message}")
+        for position, step in enumerate(f.trace):
+            marker = "source" if position == 0 else f"hop {position}"
+            lines.append(f"    [{marker}] {step.render()}")
     if stale:
         lines.append("")
         lines.append("stale baseline entries (delete them):")
@@ -58,3 +64,92 @@ def render_text(
         summary += f", {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
     lines.append(summary)
     return "\n".join(lines) + "\n"
+
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_location(path: str, line: int, col: int, note: str | None = None) -> dict:
+    location: dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {
+                "startLine": max(1, line),
+                "startColumn": max(1, col + 1),
+            },
+        }
+    }
+    if note is not None:
+        location["message"] = {"text": note}
+    return location
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    rule_docs: Sequence[tuple[str, str, str]] = (),
+) -> str:
+    """SARIF 2.1.0 report for CI annotation.
+
+    Path traces are emitted as SARIF ``codeFlows`` so viewers can step
+    through the source→sink hops; the baseline fingerprint rides along in
+    ``partialFingerprints`` for cross-run result matching.
+    """
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": title},
+            "fullDescription": {"text": rationale},
+        }
+        for rule_id, title, rationale in rule_docs
+    ]
+    results = []
+    for f in sorted(findings, key=lambda f: f.sort_key):
+        result: dict[str, object] = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [_sarif_location(f.path, f.line, f.col)],
+            "partialFingerprints": {
+                "reproLint/v1": f"{f.rule}:{f.path}:{f.symbol}",
+            },
+        }
+        if f.trace:
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": _sarif_location(
+                                        step.path, step.line, 0, step.note
+                                    )
+                                }
+                                for step in f.trace
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,9 @@
+"""Fixture: unseeded randomness handed across a call edge into the sink."""
+
+import random
+
+from sink_mod import record
+
+
+def run():
+    return record(random.random())

@@ -1,0 +1,5 @@
+"""Fixture: a helper whose parameter reaches a sink (param→sink chain)."""
+
+
+def record(value):
+    return stable_digest(value)  # noqa: F821 - name-pattern sink for the test

@@ -1,0 +1,7 @@
+"""Fixture: the nondeterminism source lives in this module."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,12 @@
+"""Fixture: the sink lives here — the flow crosses the module boundary."""
+
+from timesrc import stamp
+
+
+def stable_digest(payload):
+    return repr(payload)
+
+
+def publish():
+    t = stamp()
+    return stable_digest({"t": t})

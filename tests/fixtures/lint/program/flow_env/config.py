@@ -1,0 +1,8 @@
+"""Fixture: environment read returned through a call edge."""
+
+import os
+
+
+def load():
+    scale = os.environ.get("FIXTURE_SCALE", "1")
+    return {"scale": scale}

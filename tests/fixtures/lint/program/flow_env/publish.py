@@ -1,0 +1,12 @@
+"""Fixture: the env-derived config lands in the run digest."""
+
+from config import load
+
+
+def run_digest():
+    return 0
+
+
+def publish():
+    cfg = load()
+    return run_digest(cfg)

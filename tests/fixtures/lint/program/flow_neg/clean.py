@@ -1,0 +1,10 @@
+"""Fixture: seeded randomness and sorted() sanitize both taint kinds."""
+
+import random
+
+
+def publish(seed, items):
+    rng = random.Random(seed)
+    bag = set(items)
+    ordered = sorted(bag)
+    return stable_digest([rng.random(), ordered])  # noqa: F821 - sink

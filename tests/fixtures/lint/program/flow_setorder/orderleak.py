@@ -1,0 +1,7 @@
+"""Fixture: set iteration order materialized into a digest."""
+
+
+def publish(items):
+    bag = set(items)
+    ordered = list(bag)
+    return stable_digest(ordered)  # noqa: F821 - name-pattern sink

@@ -1,0 +1,4 @@
+"""Fixture: this file deliberately does not parse."""
+
+def broken(:
+    return None

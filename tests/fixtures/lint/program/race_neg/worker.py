@@ -1,0 +1,13 @@
+"""Fixture: read-only globals and local mutation are fine under workers."""
+
+_CONSTANTS = {"a": 1}
+
+
+def work(task):
+    local = {}
+    local["value"] = _CONSTANTS.get("a", 0) + task
+    return local["value"]
+
+
+def main(pool, tasks):
+    return pool.run(tasks, work)

@@ -1,0 +1,19 @@
+"""Fixture: worker-reachable shared-state mutation and a memo cache."""
+
+import functools
+
+_CACHE = {}
+
+
+@functools.lru_cache(maxsize=None)
+def expensive(task):
+    return task * 2
+
+
+def work(task):
+    _CACHE[task] = expensive(task)
+    return _CACHE[task]
+
+
+def main(pool, tasks):
+    return pool.run(tasks, work)

@@ -171,3 +171,92 @@ class TestLintCommand:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 0
+
+
+class TestExitCodeContract:
+    """0 = clean, 1 = findings/stale, 2 = internal error — never a traceback."""
+
+    def test_unparseable_target_is_a_finding_not_exit_two(self, capsys):
+        root = FIXTURES / "program" / "parse_err"
+        code = main(["lint", ".", "--root", str(root), "--no-cache"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PARSE001" in out and "broken.py" in out
+
+    def test_internal_error_exits_two(self, capsys, monkeypatch):
+        import repro.lint as lint_pkg
+
+        class _Boom:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("deliberate analyzer failure")
+
+        monkeypatch.setattr(lint_pkg, "ProgramAnalyzer", _Boom)
+        code = main(["lint", "--root", str(FIXTURES)])
+        assert code == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_debug_reraises_internal_errors(self, monkeypatch):
+        import repro.lint as lint_pkg
+
+        class _Boom:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("deliberate analyzer failure")
+
+        monkeypatch.setattr(lint_pkg, "ProgramAnalyzer", _Boom)
+        with pytest.raises(RuntimeError, match="deliberate"):
+            main(["lint", "--debug", "--root", str(FIXTURES)])
+
+
+class TestPruneBaseline:
+    def test_prune_removes_stale_entries_and_exits_clean(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({
+                "version": 1,
+                "entries": [{
+                    "rule": "STER001", "path": "gone.py",
+                    "symbol": "socket", "justification": "obsolete",
+                }],
+            }),
+            encoding="utf-8",
+        )
+        code = main([
+            "lint", "ster001_good.py", "det002_good.py", "--root", str(FIXTURES),
+            "--baseline", str(baseline), "--prune-baseline", "--no-cache",
+        ])
+        assert code == 0
+        assert "pruned 1 stale" in capsys.readouterr().err
+        assert load_baseline(baseline).entries == ()
+
+
+class TestSarifOutput:
+    def test_sarif_report_carries_code_flows(self, capsys, tmp_path):
+        root = FIXTURES / "program" / "flow_cross"
+        sarif_path = tmp_path / "out" / "lint.sarif"
+        code = main([
+            "lint", ".", "--root", str(root),
+            "--sarif", str(sarif_path), "--no-cache",
+        ])
+        assert code == 1
+        payload = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DET100", "RACE001", "PARSE001"} <= rule_ids
+        flow_results = [r for r in run["results"] if r["ruleId"] == "DET100"]
+        assert flow_results, "expected the cross-module flow in the SARIF report"
+        thread = flow_results[0]["codeFlows"][0]["threadFlows"][0]["locations"]
+        uris = [
+            loc["location"]["physicalLocation"]["artifactLocation"]["uri"]
+            for loc in thread
+        ]
+        assert "timesrc.py" in uris and "writer.py" in uris
+
+    def test_parallel_jobs_cli_matches_serial(self, capsys):
+        root = FIXTURES / "program" / "flow_cross"
+        assert main(["lint", ".", "--root", str(root), "--no-cache"]) == 1
+        serial_out = capsys.readouterr().out
+        assert main([
+            "lint", ".", "--root", str(root), "--no-cache", "--jobs", "2",
+        ]) == 1
+        assert capsys.readouterr().out == serial_out

@@ -10,15 +10,17 @@ from __future__ import annotations
 
 import pathlib
 
-from repro.lint import LintConfig, LintEngine, load_baseline
+from repro.lint import LintConfig, LintEngine, ProgramAnalyzer, load_baseline
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 BASELINE = ROOT / "lint-baseline.json"
 
 
 def _lint_src():
-    engine = LintEngine(LintConfig.load(ROOT))
-    return engine.lint_paths([ROOT / "src" / "repro"], root=ROOT)
+    # The full whole-program pass (per-file rules + DET1xx flows + RACE00x),
+    # cache disabled so the gate can never serve a stale verdict.
+    analyzer = ProgramAnalyzer(LintConfig.load(ROOT), use_cache=False)
+    return analyzer.lint_paths([ROOT / "src" / "repro"], root=ROOT).findings
 
 
 def test_src_has_no_new_findings():
@@ -55,3 +57,11 @@ def test_lint_package_lints_itself_clean():
     engine = LintEngine(LintConfig.load(ROOT))
     findings = engine.lint_paths([ROOT / "src" / "repro" / "lint"], root=ROOT)
     assert findings == []
+
+
+def test_program_pass_lints_lint_package_clean():
+    # And the whole-program pass must agree: no flow or race findings
+    # inside the analyzer's own implementation.
+    analyzer = ProgramAnalyzer(LintConfig.load(ROOT), use_cache=False)
+    result = analyzer.lint_paths([ROOT / "src" / "repro" / "lint"], root=ROOT)
+    assert result.findings == []
