@@ -250,7 +250,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    from repro.engine import StudySpec, run_study
+    from repro.engine import StudySpec, resolve_workers, run_study
     from repro.obs import OBS_METRICS, OBS_OFF, OBS_TRACE
 
     config = WorldConfig.from_env(
@@ -278,7 +278,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
     )
     print(
         f"engine study: scale={config.scale} seed={config.seed} "
-        f"study-seed={spec.seed} shards={spec.shards} workers={spec.workers}"
+        f"study-seed={spec.seed} shards={spec.shards} "
+        f"workers={resolve_workers(spec.workers)}"
         + faults_note
         + (f" checkpoint={args.checkpoint}" + (" (resume)" if args.resume else "")
            if args.checkpoint else ""),
@@ -484,7 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes (results are identical for any value; default 1)",
+        help="worker processes; 0 auto-detects from CPU count "
+        "(results are identical for any value; default 1)",
     )
     study.add_argument(
         "--checkpoint", help="JSONL journal path for completed shards"

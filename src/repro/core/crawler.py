@@ -198,6 +198,9 @@ class CrawlController:
         visited: list[str] = []
         seen: set[str] = set()
         recent: deque[int] = deque(maxlen=window)
+        # Running window total: re-summing the deque per probe is
+        # O(window * probes), which dominates plan computation at paper scale.
+        recent_sum = 0
         probes = 0
         # Hard bound so a zero threshold (or a degenerate pool) still
         # terminates once every node has long since been visited.
@@ -221,8 +224,11 @@ class CrawlController:
             if is_new:
                 seen.add(zid)
                 visited.append(zid)
+            if len(recent) == window:
+                recent_sum -= recent[0]
             recent.append(1 if is_new else 0)
-            if len(recent) >= window and sum(recent) / len(recent) < stop_threshold:
+            recent_sum += recent[-1]
+            if len(recent) >= window and recent_sum / len(recent) < stop_threshold:
                 break
         return tuple(visited)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.crawler import CrawlController
+from repro.core.validity import classify_result
 from repro.dnssim.resolver import GooglePublicDns
 from repro.sim.world import DNS_TEST_ZONE, World
 from repro.tracing import Timeline, Tracer
@@ -119,8 +120,6 @@ class DnsHijackExperiment:
         second phases, or filtered nodes; ``filtered`` flags the footnote-8
         Google-overlap case.
         """
-        from repro.core.validity import classify_result
-
         world = self.world
         self.last_failure_kind = None
         d1, d2 = self._prepare_domains()

@@ -20,8 +20,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.crawler import CrawlController
+from repro.core.validity import classify_result
+from repro.middlebox.http_proxy import proxy_via_token
+from repro.net.ip import str_to_ip
 from repro.sim.world import PROBE_ZONE, World
 from repro.web.content import ObjectKind
+from repro.web.server import MeasurementWebServer
 
 #: §5.1's three-nodes-per-AS initial sample.
 INITIAL_PER_AS = 3
@@ -149,8 +153,6 @@ class HttpModExperiment:
         engine) decides coverage up front, so the adaptive gate would only
         second-guess the plan.
         """
-        from repro.core.validity import classify_result
-
         world = self.world
         corpus = world.corpus
         self.last_failure_kind = None
@@ -173,8 +175,6 @@ class HttpModExperiment:
         # header; VPN-tunnelled nodes will instead surface their VPN egress
         # in our server logs, which §7 exploits — here the reported IP is the
         # right grouping key.
-        from repro.net.ip import str_to_ip
-
         exit_ip = str_to_ip(ident.debug.exit_ip)
         asn = world.routeviews.ip_to_asn(exit_ip)
         if target_asns is not None:
@@ -206,9 +206,6 @@ class HttpModExperiment:
 
         # Proxy detection: the Via header on responses, plus a double fetch
         # of the cache-busting resource (identical bodies => shared cache).
-        from repro.middlebox.http_proxy import proxy_via_token
-        from repro.web.server import MeasurementWebServer
-
         via = proxy_via_token(result.headers) or ""
         cached = False
         dynamic_url = f"http://{OBJECTS_HOST}{MeasurementWebServer.DYNAMIC_PATH}"

@@ -110,6 +110,9 @@ class HttpsMitmExperiment:
         #: Taxonomy kind of the most recent failed measurement (validity
         #: pipeline diagnostics); ``None`` after a success.
         self.last_failure_kind: Optional[str] = None
+        # Known-chain fingerprints by domain: a site's origin chain never
+        # changes during a run, so hash it once instead of per handshake.
+        self._known_chain_fp: dict[str, str] = {}
 
     # -- single handshake ----------------------------------------------------------
 
@@ -151,7 +154,14 @@ class HttpsMitmExperiment:
         )
         if site_class == SITE_CLASS_INVALID:
             assert site.known_chain is not None
-            replaced = chain.fingerprint() != site.known_chain.fingerprint()
+            if chain is site.known_chain:
+                replaced = False  # un-intercepted handshakes hand back the origin chain
+            else:
+                known_fp = self._known_chain_fp.get(site.domain)
+                if known_fp is None:
+                    known_fp = site.known_chain.fingerprint()
+                    self._known_chain_fp[site.domain] = known_fp
+                replaced = chain.fingerprint() != known_fp
         else:
             replaced = not validation.valid
         leaf = chain.leaf

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.crawler import CrawlController
+from repro.core.validity import classify_result
 from repro.net.ip import str_to_ip
 from repro.sim.world import PROBE_ZONE, World
 from repro.tracing import Timeline, Tracer
@@ -120,8 +121,6 @@ class MonitoringExperiment:
         it to the pending set (plan-driven execution owns exactly its
         planned nodes and must not measure a neighbour shard's).
         """
-        from repro.core.validity import classify_result
-
         self.last_failure_kind = None
         domain = f"m-{self._tag}-{next(self._probe_counter)}.{PROBE_ZONE}"
         if tracer is not None:

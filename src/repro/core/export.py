@@ -225,13 +225,26 @@ def https_record_to_row(r: HttpsProbeRecord) -> dict:
 
 def https_record_from_row(row: dict) -> HttpsProbeRecord:
     """Inverse of :func:`https_record_to_row`."""
+    # Positional construction: this runs once per record per merge, and at
+    # paper scale keyword/dict unpacking is a measurable slice of the merge.
     return HttpsProbeRecord(
         zid=row["zid"],
         exit_ip=row["exit_ip"],
         asn=row["asn"],
         country=row["country"],
         full_scan=row["full_scan"],
-        sites=tuple(SiteResult(**site) for site in row["sites"]),
+        sites=tuple(
+            SiteResult(
+                site["domain"],
+                site["site_class"],
+                site["replaced"],
+                site["issuer_cn"],
+                site["leaf_key_id"],
+                site["chain_valid"],
+                site["origin_invalid_kind"],
+            )
+            for site in row["sites"]
+        ),
     )
 
 

@@ -17,7 +17,7 @@ registry mapping registered zones to the server that answers for them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.net.clock import SimClock
@@ -25,6 +25,7 @@ from repro.dnssim.message import (
     DnsQuery,
     DnsResponse,
     QueryLog,
+    QueryLogEntry,
     RCode,
     normalize_name,
 )
@@ -43,12 +44,17 @@ class RecordPolicy:
 
     address: int
     allow_source: Optional[SourcePredicate] = None
+    #: The NOERROR answer, built once — policies answer millions of queries.
+    _answer: DnsResponse = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._answer = DnsResponse.answer(self.address)
 
     def answer_for(self, source_ip: int) -> DnsResponse:
         """Resolve the policy for a query from ``source_ip``."""
         if self.allow_source is not None and not self.allow_source(source_ip):
             return DnsResponse.nxdomain()
-        return DnsResponse.answer(self.address)
+        return self._answer
 
 
 class AuthoritativeServer:
@@ -63,6 +69,7 @@ class AuthoritativeServer:
 
     def __init__(self, zone: str, clock: SimClock) -> None:
         self.zone = normalize_name(zone)
+        self._dotted = "." + self.zone
         self._clock = clock
         self._records: dict[str, RecordPolicy] = {}
         self._zone_default: Optional[RecordPolicy] = None
@@ -71,7 +78,7 @@ class AuthoritativeServer:
     def in_zone(self, qname: str) -> bool:
         """Whether this server is authoritative for ``qname``."""
         name = normalize_name(qname)
-        return name == self.zone or name.endswith("." + self.zone)
+        return name == self.zone or name.endswith(self._dotted)
 
     def register(self, qname: str, policy: RecordPolicy) -> None:
         """Install an answer policy for an exact name inside the zone."""
@@ -95,25 +102,34 @@ class AuthoritativeServer:
 
     def query(self, query: DnsQuery) -> DnsResponse:
         """Answer a query, recording it in the log."""
-        name = query.qname
-        if not self.in_zone(name):
+        name = query.qname  # DnsQuery already normalized it
+        if not (name == self.zone or name.endswith(self._dotted)):
             response = DnsResponse.servfail()
+            self.log.append(
+                _log_entry(self._clock.now, name, query.source_ip, response.rcode)
+            )
+            return response
+        return self.answer(name, query.source_ip)
+
+    def answer(self, name: str, source_ip: int) -> DnsResponse:
+        """Answer for an already-normalized, in-zone name, logging the query.
+
+        The :class:`DnsRoot` hot path: routing has already proved the name
+        is in this zone, so the per-query :class:`DnsQuery` object and the
+        duplicate zone check are skipped.  Log entries are identical to the
+        :meth:`query` path.
+        """
+        policy = self._records.get(name, self._zone_default)
+        if policy is None:
+            response = DnsResponse.nxdomain()
         else:
-            policy = self._records.get(name, self._zone_default)
-            if policy is None:
-                response = DnsResponse.nxdomain()
-            else:
-                response = policy.answer_for(query.source_ip)
-        self.log.append(
-            _log_entry(self._clock.now, name, query.source_ip, response.rcode)
-        )
+            response = policy.answer_for(source_ip)
+        self.log.append(_log_entry(self._clock.now, name, source_ip, response.rcode))
         return response
 
 
 def _log_entry(time: float, qname: str, source_ip: int, rcode: RCode):
     """Build a query-log entry (kept as a function for test monkeypatching)."""
-    from repro.dnssim.message import QueryLogEntry
-
     return QueryLogEntry(time=time, qname=qname, source_ip=source_ip, rcode=rcode)
 
 
@@ -128,26 +144,54 @@ class DnsRoot:
 
     def __init__(self) -> None:
         self._servers: dict[str, AuthoritativeServer] = {}
+        #: ``(zone, "." + zone, server)`` ordered most-specific first; the
+        #: zone count is tiny, so a linear suffix scan beats rebuilding every
+        #: suffix of the query name (the per-query hot path).
+        self._zones: list[tuple[str, str, AuthoritativeServer]] = []
+        #: qname -> owning server (or ``None``), filled per lookup.  Probe
+        #: names are queried a handful of times each (exit resolver, super
+        #: proxy, retries), so the cache turns the repeat scans into one
+        #: dict hit; cleared whenever the zone set changes.
+        self._route_cache: dict[str, Optional[AuthoritativeServer]] = {}
 
     def register(self, server: AuthoritativeServer) -> None:
         """Register a server as authoritative for its zone."""
         if server.zone in self._servers:
             raise ValueError(f"zone {server.zone} already delegated")
         self._servers[server.zone] = server
+        self._zones = sorted(
+            ((zone, "." + zone, srv) for zone, srv in self._servers.items()),
+            key=lambda entry: -entry[0].count("."),
+        )
+        self._route_cache.clear()
+
+    def _route(self, name: str) -> Optional[AuthoritativeServer]:
+        """The owning server for an already-normalized name (cached)."""
+        try:
+            return self._route_cache[name]
+        except KeyError:
+            pass
+        found = None
+        for zone, dotted, server in self._zones:
+            if name == zone or name.endswith(dotted):
+                found = server
+                break
+        self._route_cache[name] = found
+        return found
 
     def authoritative_for(self, qname: str) -> Optional[AuthoritativeServer]:
         """The server for the most specific zone containing ``qname``, or ``None``."""
-        labels = normalize_name(qname).split(".")
-        for start in range(len(labels)):
-            zone = ".".join(labels[start:])
-            server = self._servers.get(zone)
-            if server is not None:
-                return server
-        return None
+        return self._route(normalize_name(qname))
 
     def resolve_authoritative(self, qname: str, source_ip: int, now: float) -> DnsResponse:
-        """Route a query to the owning authoritative server (NXDOMAIN if none)."""
-        server = self.authoritative_for(qname)
+        """Route a query to the owning authoritative server (NXDOMAIN if none).
+
+        ``now`` is accepted for signature stability; log entries are clocked
+        on the owning server's own clock, exactly as :meth:`AuthoritativeServer.query`
+        does.
+        """
+        name = normalize_name(qname)
+        server = self._route(name)
         if server is None:
             return DnsResponse.nxdomain()
-        return server.query(DnsQuery(qname=qname, source_ip=source_ip, time=now))
+        return server.answer(name, source_ip)

@@ -22,6 +22,8 @@ class RCode(enum.Enum):
 
 def normalize_name(name: str) -> str:
     """Canonical form of a domain name: lower case, no trailing dot."""
+    if name.islower() and not name.endswith("."):
+        return name  # already canonical — skip the copying slow path
     return name.rstrip(".").lower()
 
 
@@ -64,12 +66,12 @@ class DnsResponse:
     @classmethod
     def nxdomain(cls) -> "DnsResponse":
         """An NXDOMAIN (name does not exist) response."""
-        return cls(RCode.NXDOMAIN)
+        return _NXDOMAIN
 
     @classmethod
     def servfail(cls) -> "DnsResponse":
         """A SERVFAIL response."""
-        return cls(RCode.SERVFAIL)
+        return _SERVFAIL
 
     @property
     def is_nxdomain(self) -> bool:
@@ -82,6 +84,12 @@ class DnsResponse:
         if not self.addresses:
             raise ValueError(f"no addresses in {self.rcode.name} response")
         return self.addresses[0]
+
+
+# Error responses carry no per-query state, so the (frozen) instances are
+# shared: DNS-heavy paths would otherwise build millions of identical ones.
+_NXDOMAIN = DnsResponse(RCode.NXDOMAIN)
+_SERVFAIL = DnsResponse(RCode.SERVFAIL)
 
 
 @dataclass(frozen=True, slots=True)

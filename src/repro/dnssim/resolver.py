@@ -32,7 +32,18 @@ from repro.dnssim.message import DnsResponse, normalize_name
 
 def _stable_hash(*parts: object) -> int:
     """Deterministic 32-bit hash used for reproducible per-query decisions."""
-    payload = "\x1f".join(str(part) for part in parts).encode("utf-8")
+    payload = "\x1f".join(map(str, parts)).encode("utf-8")
+    return zlib.crc32(payload)
+
+
+def _hash_prefix(*parts: object) -> int:
+    """CRC state after hashing ``parts`` as a :func:`_stable_hash` prefix.
+
+    CRC-32 streams, so ``_stable_hash(a, b, c)`` equals
+    ``zlib.crc32(str(c).encode(), _hash_prefix(a, b))`` — hot per-query call
+    sites precompute the constant prefix once.
+    """
+    payload = ("\x1f".join(map(str, parts)) + "\x1f").encode("utf-8")
     return zlib.crc32(payload)
 
 
@@ -83,12 +94,18 @@ class RecursiveResolver:
             tuple(egress_ips) if egress_ips else (service_ip,)
         )
         self.answers_direct_probes = answers_direct_probes
+        # Constant per-resolver hash prefixes (see _hash_prefix): these
+        # decisions run once per query, millions of times per study.
+        self._egress_prefix = _hash_prefix("egress", service_ip)
+        self._hijack_prefix = _hash_prefix("hijack", service_ip)
 
     def egress_for(self, client_ip: int) -> int:
         """The egress address used for a given client's queries (stable per client)."""
         if len(self._egress_ips) == 1:
             return self._egress_ips[0]
-        index = _stable_hash("egress", self.service_ip, client_ip) % len(self._egress_ips)
+        index = zlib.crc32(str(client_ip).encode("utf-8"), self._egress_prefix) % len(
+            self._egress_ips
+        )
         return self._egress_ips[index]
 
     def _should_hijack(self, qname: str) -> bool:
@@ -96,7 +113,7 @@ class RecursiveResolver:
             return False
         if self.hijack_rate >= 1.0:
             return True
-        draw = _stable_hash("hijack", self.service_ip, qname) % 10_000
+        draw = zlib.crc32(qname.encode("utf-8"), self._hijack_prefix) % 10_000
         return draw < self.hijack_rate * 10_000
 
     def resolve(self, qname: str, client_ip: int) -> DnsResponse:
@@ -167,6 +184,7 @@ class GooglePublicDns(RecursiveResolver):
                     f"{self.SUPERPROXY_EGRESS_PREFIX}"
                 )
         self._superproxy_egress: tuple[int, ...] = tuple(superproxy_egress_ips)
+        self._spx_prefixes: dict[int, int] = {}
 
     @classmethod
     def is_google_egress(cls, ip: int) -> bool:
@@ -185,6 +203,9 @@ class GooglePublicDns(RecursiveResolver):
         empirically-determined behaviour in §4.1.
         """
         name = normalize_name(qname)
-        index = _stable_hash("spx", superproxy_ip, name) % len(self._superproxy_egress)
+        prefix = self._spx_prefixes.get(superproxy_ip)
+        if prefix is None:
+            prefix = self._spx_prefixes[superproxy_ip] = _hash_prefix("spx", superproxy_ip)
+        index = zlib.crc32(name.encode("utf-8"), prefix) % len(self._superproxy_egress)
         egress = self._superproxy_egress[index]
         return self._root.resolve_authoritative(name, egress, self._clock.now)

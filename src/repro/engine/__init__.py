@@ -17,7 +17,13 @@ from repro.engine.checkpoint import (
     CheckpointMismatchError,
     RunManifest,
 )
-from repro.engine.executor import Executor, ProcessExecutor, SerialExecutor, make_executor
+from repro.engine.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_workers,
+)
 from repro.engine.metrics import ExperimentTally, RunReport, ShardMetrics
 from repro.engine.retry import RetryPolicy
 from repro.engine.runner import (
@@ -68,6 +74,7 @@ __all__ = [
     "derive_seed",
     "execute_shard",
     "make_executor",
+    "resolve_workers",
     "make_shard_specs",
     "measure_planned_node",
     "merge_shard_results",

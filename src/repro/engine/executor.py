@@ -9,8 +9,13 @@ tests pin down.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterator, Protocol, Sequence, TypeVar
+
+#: Ceiling for ``workers=0`` auto-detection: shard counts are small and the
+#: per-worker world replay is memory-hungry, so more than this rarely helps.
+AUTO_WORKERS_CAP = 8
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -71,8 +76,23 @@ class ProcessExecutor:
                     yield future.result()
 
 
+def resolve_workers(workers: int) -> int:
+    """The effective worker count for a ``--workers`` setting.
+
+    ``0`` means auto: one worker per CPU core, capped at
+    :data:`AUTO_WORKERS_CAP`.  Worker count never affects results — only
+    wall-clock — so auto-detection is safe to use in digest-checked runs.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0: {workers}")
+    if workers == 0:
+        return max(1, min(AUTO_WORKERS_CAP, os.cpu_count() or 1))
+    return workers
+
+
 def make_executor(workers: int) -> Executor:
-    """The executor matching a ``--workers`` setting."""
-    if workers <= 1:
+    """The executor matching a ``--workers`` setting (0 = auto-detect)."""
+    count = resolve_workers(workers)
+    if count <= 1:
         return SerialExecutor()
-    return ProcessExecutor(workers)
+    return ProcessExecutor(count)

@@ -16,7 +16,7 @@ common currency of process transport, checkpoint journals, and merging.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.export import dataset_to_dict
 from repro.core.validity import NodeHealth, ValidityPolicy
@@ -45,14 +45,16 @@ NODE_FAILED = "failed"
 class ShardTask:
     """Everything a worker needs to execute one shard, picklable.
 
-    ``plans`` is an ordered tuple of ``(experiment, zids)`` pairs; the order
-    is the shard's execution order and part of the determinism contract.
+    ``plans`` is an ordered tuple of ``(experiment, zids)`` pairs — the zids
+    as any string sequence (the engine ships packed
+    :class:`~repro.engine.sharding.PlanSlice` objects); the order is the
+    shard's execution order and part of the determinism contract.
     """
 
     config: WorldConfig
     countries: Optional[tuple[CountrySpec, ...]]
     spec: ShardSpec
-    plans: tuple[tuple[str, tuple[str, ...]], ...]
+    plans: tuple[tuple[str, Sequence[str]], ...]
     retry: RetryPolicy
     validity: ValidityPolicy = ValidityPolicy()
     #: Observability level (``off``/``metrics``/``trace``); never part of the
@@ -134,11 +136,10 @@ def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics, Option
         recorder = TraceRecorder(world.internet.clock)
         world.internet.obs = recorder
     obs = world.internet.obs
-    zid_country = {
-        zid: country
-        for country, zids in world.registry.zids_by_country().items()
-        for zid in zids
-    }
+    # Country lookups go through the registry (O(1) on the columnar
+    # registry) instead of materializing a zid->country dict over the whole
+    # world, which at paper scale is ~1M strings per shard replay.
+    registry = world.registry
 
     datasets: dict[str, Dataset] = {}
     metrics = ShardMetrics(index=task.spec.index)
@@ -154,7 +155,7 @@ def run_shard(task: ShardTask) -> tuple[dict[str, Dataset], ShardMetrics, Option
             tally = ExperimentTally(planned=len(plan))
             with obs.span("experiment.run", detail=name, attrs={"planned": len(plan)}):
                 for zid in plan:
-                    country = zid_country.get(zid)
+                    country = registry.country_of(zid)
                     if country is None:
                         # The plan references a node this world replay does not
                         # know — only possible with a corrupted plan; count it
@@ -268,6 +269,28 @@ def execute_shard(task: ShardTask) -> dict:
         "datasets": {
             name: dataset_to_dict(dataset) for name, dataset in datasets.items()
         },
+        "metrics": metrics.to_dict(),
+    }
+    if obs_payload is not None:
+        result["obs"] = obs_payload
+    return result
+
+
+def execute_shard_live(task: ShardTask) -> dict:
+    """Like :func:`execute_shard`, but with live ``Dataset`` objects.
+
+    Journal-free runs never store shard results, so encoding millions of
+    records through the dict codec and immediately decoding them at the
+    merge is pure overhead — at paper scale, tens of seconds of it.  This
+    entry point keeps the same result shape with the datasets left as
+    objects; process workers pickle the dataclasses directly.  Checkpointed
+    runs must use :func:`execute_shard` — the journal stores JSON.
+    """
+    datasets, metrics, obs_payload = run_shard(task)
+    result = {
+        "kind": "shard",
+        "index": task.spec.index,
+        "datasets": datasets,
         "metrics": metrics.to_dict(),
     }
     if obs_payload is not None:

@@ -33,12 +33,13 @@ from repro.core.export import dataset_from_dict, dataset_to_dict
 from repro.core.study import StudyResults, assemble_results
 from repro.core.validity import ValidityPolicy
 from repro.engine.checkpoint import CheckpointJournal, CheckpointMismatchError, RunManifest
-from repro.engine.executor import Executor, make_executor
+from repro.engine.executor import Executor, make_executor, resolve_workers
 from repro.engine.experiments import EXPERIMENT_ORDER, Dataset, empty_dataset
 from repro.engine.metrics import RunReport, ShardMetrics
 from repro.engine.retry import RetryPolicy
-from repro.engine.runner import ShardTask, execute_shard, run_shard
+from repro.engine.runner import ShardTask, execute_shard, execute_shard_live, run_shard
 from repro.engine.sharding import (
+    PlanSlice,
     derive_seed,
     make_shard_specs,
     partition_plans,
@@ -68,6 +69,7 @@ class StudySpec:
     countries: Optional[tuple[CountrySpec, ...]] = None
     seed: int = 1000
     shards: int = 4
+    #: Worker processes (``0`` = auto-detect, capped); digest-excluded.
     workers: int = 1
     retry: RetryPolicy = RetryPolicy()
     #: Crawl-plan stopping rule (see :meth:`CrawlController.iteration_plan`).
@@ -88,8 +90,8 @@ class StudySpec:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1: {self.shards}")
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0 (0 = auto): {self.workers}")
         if self.obs not in OBS_LEVELS:
             raise ValueError(f"obs must be one of {OBS_LEVELS}: {self.obs!r}")
         if self.validity is None:
@@ -172,6 +174,10 @@ def run_digest(spec: StudySpec, plans: Mapping[str, tuple[str, ...]]) -> str:
 def merge_shard_results(results_by_index: Mapping[int, dict]) -> dict[str, Dataset]:
     """Concatenate shard datasets in shard-index order.
 
+    Shard payloads arrive either as codec dicts (checkpointed runs, whose
+    journal stores JSON) or as live ``Dataset`` objects (journal-free runs,
+    which skip the codec round-trip entirely).
+
     Cross-shard header fields that cannot be summed (the §4 unique-resolver
     count) are recomputed over the merged records.
     """
@@ -183,7 +189,7 @@ def merge_shard_results(results_by_index: Mapping[int, dict]) -> dict[str, Datas
             payload = results_by_index[index]["datasets"].get(name)
             if payload is None:
                 continue
-            part = dataset_from_dict(payload)
+            part = dataset_from_dict(payload) if isinstance(payload, dict) else payload
             merged.records.extend(part.records)  # type: ignore[arg-type]
             merged.probes += part.probes
             if name == "dns":
@@ -283,7 +289,10 @@ def run_study(
             countries=spec.countries,
             spec=shard_spec,
             plans=tuple(
-                (name, shard_plans[shard_spec.index][name]) for name in EXPERIMENT_ORDER
+                # Packed-index transport: at paper scale the plan strings
+                # alone would dominate worker pickle traffic.
+                (name, PlanSlice(shard_plans[shard_spec.index][name]))
+                for name in EXPERIMENT_ORDER
             ),
             retry=spec.retry,
             validity=spec.validity if spec.validity is not None else ValidityPolicy(),
@@ -295,12 +304,15 @@ def run_study(
 
     report = RunReport(
         shard_count=spec.shards,
-        worker_count=spec.workers,
+        worker_count=resolve_workers(spec.workers),
         resumed_shards=len(completed),
     )
     pool = executor if executor is not None else make_executor(spec.workers)
+    # Only a journal needs the JSON-able result form; everything else merges
+    # the shard's live datasets and skips the codec round-trip.
+    shard_fn = execute_shard if journal is not None else execute_shard_live
     with profile.section("execute"):
-        for result in pool.run(tasks, execute_shard):
+        for result in pool.run(tasks, shard_fn):
             completed[result["index"]] = result
             if journal is not None:
                 journal.append_shard(result)

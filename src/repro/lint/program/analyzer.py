@@ -34,7 +34,10 @@ from repro.lint.program.symbols import ModuleSummary, build_module_summary
 from repro.lint.program.taint import analyze_flows
 
 #: Bump to invalidate every cache when analysis semantics change.
-ANALYZER_VERSION = "1"
+#: Bumped for the RACE-family extension: in-place mutator calls
+#: (``.append()`` et al.) on module globals now count as mutations, and
+#: ``array`` counts as a mutable constructor.
+ANALYZER_VERSION = "2"
 
 
 @dataclass(slots=True)

@@ -79,7 +79,7 @@ _MUTATOR_METHODS = frozenset({
 #: Constructor names whose module-level assignment creates shared mutable state.
 _MUTABLE_CONSTRUCTORS = frozenset({
     "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
-    "Counter", "deque",
+    "Counter", "deque", "array",
 })
 
 #: Scheduling-call attribute names whose function-valued arguments become
@@ -693,6 +693,18 @@ class _FunctionWalker:
         if base is not None and "." not in base and self._is_module_global(base):
             self.mutations.append(Mutation(base, target.lineno, "item assignment"))
 
+    def _note_mutator_call(self, node: ast.Call) -> None:
+        """``GLOBAL.append(x)`` and friends mutate their receiver in place."""
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in _MUTATOR_METHODS:
+            return
+        base = _dotted(node.func.value)
+        if base is not None and "." not in base and self._is_module_global(base):
+            self.mutations.append(
+                Mutation(base, node.lineno, f"in-place .{node.func.attr}()")
+            )
+
     def _note_aug_mutation(self, stmt: ast.AugAssign) -> None:
         if isinstance(stmt.target, ast.Name) and self._is_module_global(
             stmt.target.id
@@ -826,6 +838,7 @@ class _FunctionWalker:
     # -- calls ---------------------------------------------------------------
 
     def _call_taint(self, node: ast.Call) -> Taint:
+        self._note_mutator_call(node)
         written = _dotted(node.func)
         arg_taints = tuple(self.taint_of(a) for a in node.args)
         kwarg_taints = tuple(

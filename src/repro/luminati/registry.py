@@ -20,12 +20,31 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from repro.hosts import ExitNodeHost
 
 #: Fraction of picks that are uniform-random instead of rotation-based.
 DEFAULT_REPEAT_FRACTION = 0.3
+
+#: zID digit width: ``z`` + zero-padded 1-based node number (§2.3).
+_ZID_DIGITS = 8
+
+
+def zid_of(index: int) -> str:
+    """The zID of the node at a 0-based world index (zIDs are 1-based)."""
+    return f"z{index + 1:08d}"
+
+
+def zid_index(zid: str) -> Optional[int]:
+    """Inverse of :func:`zid_of`; ``None`` for anything else.
+
+    Only exact round-trip forms (``z`` + 8 digits) are accepted, so a
+    malformed or foreign zID can never alias a real node index.
+    """
+    if len(zid) != _ZID_DIGITS + 1 or zid[0] != "z" or not zid[1:].isdigit():
+        return None
+    return int(zid[1:]) - 1
 
 
 @dataclass(slots=True)
@@ -106,6 +125,11 @@ class ExitNodeRegistry:
             for country, pool in self._pools.items()
         }
 
+    def country_of(self, zid: str) -> Optional[str]:
+        """The country a zID is registered in, or ``None`` for unknown zIDs."""
+        node = self.by_zid(zid)
+        return node.country if node is not None else None
+
     def _rebuild_weights(self) -> None:
         self._country_names = []
         self._country_cumweights = []
@@ -164,3 +188,163 @@ class ExitNodeRegistry:
         """
         probability = node.flakiness * dampen
         return probability > 0 and rng.random() < probability
+
+
+class ColumnarNode:
+    """Flyweight exit-node view over a columnar world.
+
+    Quacks like :class:`RegisteredNode` (``zid``/``country``/``flakiness``/
+    ``host``) but holds only its index into the column store; the rich
+    :class:`~repro.hosts.ExitNodeHost` materializes — cached — on first
+    ``.host`` access, so nodes a shard never touches stay a few machine
+    words each.
+    """
+
+    __slots__ = ("_hosts", "index", "country", "flakiness", "_zid")
+
+    def __init__(self, hosts, index: int, country: str, flakiness: float) -> None:
+        self._hosts = hosts
+        self.index = index
+        self.country = country
+        self.flakiness = flakiness
+        self._zid: Optional[str] = None
+
+    @property
+    def zid(self) -> str:
+        """The node's persistent identifier (formatted once, then cached)."""
+        zid = self._zid
+        if zid is None:
+            zid = self._zid = zid_of(self.index)
+        return zid
+
+    @property
+    def host(self) -> ExitNodeHost:
+        """The full host view, materialized on demand."""
+        return self._hosts.host(self.index)
+
+    def __repr__(self) -> str:
+        return f"ColumnarNode(zid={self.zid!r}, country={self.country!r})"
+
+
+class _LazyNodeSeq(Sequence["ColumnarNode"]):
+    """One country pool's nodes as flyweights over member indices.
+
+    ``members`` is a ``range`` (countries are laid out contiguously during
+    world building) or, defensively, a list of global node indices.
+    """
+
+    __slots__ = ("_registry", "_country", "members")
+
+    def __init__(
+        self,
+        registry: "ColumnarNodeRegistry",
+        country: str,
+        members: Union[range, list[int]],
+    ) -> None:
+        self._registry = registry
+        self._country = country
+        self.members = members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [
+                self._registry._node_at(index, self._country)
+                for index in self.members[position]
+            ]
+        return self._registry._node_at(self.members[position], self._country)
+
+
+class ColumnarNodeRegistry(ExitNodeRegistry):
+    """Array-backed registry over a columnar world (lazy node views).
+
+    Built once from the world's node columns: each country pool references
+    node *indices* instead of node objects, and flyweight views are created
+    (and cached) only when something actually selects or looks up a node.
+    Selection semantics — rotation epochs, repeat picks, weighted country
+    choice, offline draws — are inherited unchanged from
+    :class:`ExitNodeRegistry`, so the two implementations consume RNG state
+    identically and produce byte-identical runs.
+
+    ``hosts`` is the world's lazy host table (``len()``, ``.host(index)``,
+    and ``.columns`` with ``flakiness`` + ``country_code(index)``);
+    ``country_runs`` is the builder's ``(country, start, stop)`` layout.
+    """
+
+    def __init__(
+        self,
+        hosts,
+        country_runs: Sequence[tuple[str, int, int]],
+        seed: int = 0,
+        repeat_fraction: float = DEFAULT_REPEAT_FRACTION,
+    ) -> None:
+        super().__init__(seed=seed, repeat_fraction=repeat_fraction)
+        self._hosts = hosts
+        self._flakiness = hosts.columns.flakiness
+        self._size = len(hosts)
+        self._nodes: dict[int, ColumnarNode] = {}
+        #: zid-string -> node view, filled on lookup; parsing and validating
+        #: the zid again for every session-pinned request is measurable at
+        #: paper scale.  Only known zids are cached, so it stays bounded.
+        self._zid_lookup: dict[str, ColumnarNode] = {}
+        for country, start, stop in country_runs:
+            if stop <= start:
+                continue
+            pool = self._pools.get(country)
+            if pool is None:
+                pool = _CountryPool()
+                pool.nodes = _LazyNodeSeq(self, country, range(start, stop))
+                self._pools[country] = pool
+            else:
+                # A country split across runs never happens with the current
+                # builder, but handle it rather than silently dropping nodes.
+                members = list(pool.nodes.members)
+                members.extend(range(start, stop))
+                pool.nodes = _LazyNodeSeq(self, country, members)
+        self._weights_dirty = True
+
+    def _node_at(self, index: int, country: str) -> ColumnarNode:
+        node = self._nodes.get(index)
+        if node is None:
+            node = ColumnarNode(self._hosts, index, country, self._flakiness[index])
+            self._nodes[index] = node
+        return node
+
+    def add(self, host: ExitNodeHost, country: str, flakiness: float = 0.03):
+        if self.by_zid(host.zid) is not None:
+            raise ValueError(f"duplicate zid {host.zid}")
+        raise TypeError(
+            "a columnar registry is derived from the world's columns; "
+            "new nodes cannot be added after the build"
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    def by_zid(self, zid: str) -> Optional[ColumnarNode]:
+        """Look a node up by its persistent identifier."""
+        node = self._zid_lookup.get(zid)
+        if node is not None:
+            return node
+        index = zid_index(zid)
+        if index is None or not 0 <= index < self._size:
+            return None
+        node = self._node_at(index, self._hosts.columns.country_code(index))
+        self._zid_lookup[zid] = node
+        return node
+
+    def zids_by_country(self) -> dict[str, tuple[str, ...]]:
+        """Every zID grouped by country (see the base method's contract)."""
+        return {
+            country: tuple(zid_of(index) for index in pool.nodes.members)
+            for country, pool in self._pools.items()
+        }
+
+    def country_of(self, zid: str) -> Optional[str]:
+        """The country a zID lives in, without materializing a node view."""
+        index = zid_index(zid)
+        if index is None or not 0 <= index < self._size:
+            return None
+        return self._hosts.columns.country_code(index)

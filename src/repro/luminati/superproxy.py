@@ -150,6 +150,18 @@ class SuperProxy:
         #: and recorded as a ``timeout`` attempt — the paper's per-request
         #: timeout defense against wedged nodes.
         self.attempt_timeout_seconds = attempt_timeout_seconds
+        # Rendered exit-IP strings for debug headers, keyed by the address
+        # value (an IP that churns simply gets a new entry).
+        self._ip_strings: dict[int, str] = {}
+        # First-attempt-success debug payloads by zid.  TimelineDebug is
+        # frozen, so the (debug, header) pair for the overwhelmingly common
+        # "one attempt, ok" outcome is a pure function of (zid, exit IP); the
+        # entry carries the IP it was rendered for so address churn
+        # invalidates it naturally.
+        self._ok_debug: dict[str, tuple[int, TimelineDebug, tuple[str, str]]] = {}
+        # url -> (host, path); probe URLs repeat across objects and retries,
+        # and splitting is pure.  Only valid splits are cached.
+        self._url_parts: dict[str, tuple[str, str]] = {}
 
     @property
     def registry(self) -> ExitNodeRegistry:
@@ -229,11 +241,13 @@ class SuperProxy:
             obs.event("session.drop", actor="superproxy", detail=options.session)
 
     def _debug(self, node: Optional[RegisteredNode], attempts: list[AttemptRecord]) -> TimelineDebug:
-        return TimelineDebug(
-            zid=node.zid if node is not None else "none",
-            exit_ip=ip_to_str(node.host.ip) if node is not None else "",
-            attempts=tuple(attempts),
-        )
+        if node is None:
+            return TimelineDebug(zid="none", exit_ip="", attempts=tuple(attempts))
+        ip = node.host.ip
+        exit_ip = self._ip_strings.get(ip)
+        if exit_ip is None:
+            exit_ip = self._ip_strings[ip] = ip_to_str(ip)
+        return TimelineDebug(zid=node.zid, exit_ip=exit_ip, attempts=tuple(attempts))
 
     # -- HTTP proxying --------------------------------------------------------
 
@@ -271,14 +285,19 @@ class SuperProxy:
         tracer: Optional[Tracer] = None,
     ) -> ProxyResult:
         obs = self._internet.obs
-        trace = tracer if tracer is not None else Tracer()
+        traced = tracer is not None
         self._advance_time()
         self.requests_served += 1
-        host, path = split_http_url(url)
-        trace.add("client", "proxy request", "super proxy", url)
+        parts = self._url_parts.get(url)
+        if parts is None:
+            parts = self._url_parts[url] = split_http_url(url)
+        host, path = parts
+        if traced:
+            tracer.add("client", "proxy request", "super proxy", url)
 
         if self._faults is not None and self._faults.superproxy_error(self.requests_served):
-            trace.add("super proxy", "502 Bad Gateway", "client")
+            if traced:
+                tracer.add("super proxy", "502 Bad Gateway", "client")
             if obs.enabled:
                 obs.event(
                     "proxy.502", actor="superproxy", detail=url,
@@ -287,14 +306,18 @@ class SuperProxy:
             return ProxyResult(status=None, body=b"", error=ERROR_SUPERPROXY_502, debug=None)
 
         # DNS pre-check / default resolution at the super proxy via Google.
+        # (Cheap shape test first: raising IpError on every domain-name URL
+        # costs more than the whole DNS dispatch on the hot path.)
         resolved_ip: Optional[int] = None
-        try:
-            resolved_ip = str_to_ip(host)
-            literal = True
-        except IpError:
-            literal = False
+        literal = host.count(".") == 3 and host.replace(".", "").isdigit()
+        if literal:
+            try:
+                resolved_ip = str_to_ip(host)
+            except IpError:
+                literal = False
         if not literal:
-            trace.add("super proxy", "DNS request via Google", "authoritative DNS", host)
+            if traced:
+                tracer.add("super proxy", "DNS request via Google", "authoritative DNS", host)
             answer = self._google.resolve_for_superproxy(host, self.ip)
             if obs.enabled:
                 obs.event(
@@ -302,7 +325,8 @@ class SuperProxy:
                     attrs={"rcode": answer.rcode.name},
                 )
             if answer.is_nxdomain or not answer.addresses:
-                trace.add("super proxy", "DNS failure, request rejected", "client")
+                if traced:
+                    tracer.add("super proxy", "DNS failure, request rejected", "client")
                 return ProxyResult(
                     status=None, body=b"", error=ERROR_SUPERPROXY_DNS, debug=None
                 )
@@ -329,11 +353,13 @@ class SuperProxy:
                 self._drop_session(options)
                 node = None
                 continue
-            trace.add("super proxy", "forward request", "exit node", node.zid)
+            if traced:
+                tracer.add("super proxy", "forward request", "exit node", node.zid)
             started = self._internet.clock.now
             try:
                 if options.dns_remote:
-                    trace.add("exit node", "DNS request", "exit node resolver", host)
+                    if traced:
+                        tracer.add("exit node", "DNS request", "exit node resolver", host)
                     response = node.host.fetch_http(host, path)
                 else:
                     response = node.host.fetch_http(host, path, dest_ip=resolved_ip)
@@ -342,7 +368,8 @@ class SuperProxy:
                     # A broken resolver, not an authoritative answer about the
                     # name: refuse this node and fail over to the next peer.
                     self._note_attempt(attempts, node.zid, "refused")
-                    trace.add("exit node", "SERVFAIL from resolver", "super proxy")
+                    if traced:
+                        tracer.add("exit node", "SERVFAIL from resolver", "super proxy")
                     self._drop_session(options)
                     node = None
                     continue
@@ -350,8 +377,9 @@ class SuperProxy:
                 # This is an authoritative answer about the *name*, not a node
                 # failure, so Luminati reports it rather than retrying.
                 self._note_attempt(attempts, node.zid, "dns_nxdomain")
-                trace.add("exit node", "NXDOMAIN from resolver", "super proxy")
-                trace.add("super proxy", "error response", "client")
+                if traced:
+                    tracer.add("exit node", "NXDOMAIN from resolver", "super proxy")
+                    tracer.add("super proxy", "error response", "client")
                 return ProxyResult(
                     status=None,
                     body=b"",
@@ -360,7 +388,8 @@ class SuperProxy:
                 )
             except FaultError as exc:
                 self._note_attempt(attempts, node.zid, exc.kind)
-                trace.add("exit node", f"fault: {exc.kind}", "super proxy")
+                if traced:
+                    tracer.add("exit node", f"fault: {exc.kind}", "super proxy")
                 self._drop_session(options)
                 node = None
                 continue
@@ -376,17 +405,35 @@ class SuperProxy:
                 # late response and fail over, exactly as the measurement
                 # client's per-request timeout would.
                 self._note_attempt(attempts, node.zid, KIND_TIMEOUT)
-                trace.add("exit node", "response past deadline", "super proxy")
+                if traced:
+                    tracer.add("exit node", "response past deadline", "super proxy")
                 self._drop_session(options)
                 node = None
                 continue
-            self._note_attempt(attempts, node.zid, "ok")
-            self.ledger.record(node.zid, len(response.body))
-            trace.add("exit node", "fetch content", "web server", url)
-            trace.add("exit node", "return response", "super proxy")
-            trace.add("super proxy", "return response", "client")
-            debug = self._debug(node, attempts)
-            headers = response.headers + ((HEADER_NAME, debug.serialize()),)
+            zid = node.zid
+            if attempts or obs.enabled:
+                self._note_attempt(attempts, zid, "ok")
+                debug = self._debug(node, attempts)
+                header = (HEADER_NAME, debug.serialize())
+            else:
+                # First attempt succeeded with observability off — reuse the
+                # node's cached debug payload instead of re-serializing it.
+                cached = self._ok_debug.get(zid)
+                if cached is None or cached[0] != node.host.ip:
+                    self._note_attempt(attempts, zid, "ok")
+                    debug = self._debug(node, attempts)
+                    cached = self._ok_debug[zid] = (
+                        node.host.ip,
+                        debug,
+                        (HEADER_NAME, debug.serialize()),
+                    )
+                _ip, debug, header = cached
+            self.ledger.record(zid, len(response.body))
+            if traced:
+                tracer.add("exit node", "fetch content", "web server", url)
+                tracer.add("exit node", "return response", "super proxy")
+                tracer.add("super proxy", "return response", "client")
+            headers = response.headers + (header,)
             return ProxyResult(
                 status=response.status,
                 body=response.body,

@@ -51,6 +51,10 @@ class RouteViewsTable:
     def __init__(self) -> None:
         self._by_asn: dict[int, AutonomousSystem] = {}
         self._trie = PrefixTrie()
+        #: ip -> origin ASN memo over the trie walk; every measurement
+        #: resolves its exit IP and IPs repeat across experiments and
+        #: retries.  Cleared on any new announcement.
+        self._asn_cache: dict[int, Optional[int]] = {}
 
     def __len__(self) -> int:
         return len(self._by_asn)
@@ -86,6 +90,7 @@ class RouteViewsTable:
             raise KeyError(f"AS{asn} is not registered")
         asys.announce(prefix)
         self._trie.insert(prefix, asn)
+        self._asn_cache.clear()
 
     def get(self, asn: int) -> AutonomousSystem:
         """The :class:`AutonomousSystem` for a number; raises :class:`KeyError` if unknown."""
@@ -93,11 +98,15 @@ class RouteViewsTable:
 
     def ip_to_asn(self, ip: int) -> Optional[int]:
         """Origin ASN of the most specific prefix covering ``ip``, or ``None``."""
-        return self._trie.lookup(ip)
+        try:
+            return self._asn_cache[ip]
+        except KeyError:
+            asn = self._asn_cache[ip] = self._trie.lookup(ip)
+            return asn
 
     def ip_to_as(self, ip: int) -> Optional[AutonomousSystem]:
         """Like :meth:`ip_to_asn` but returns the AS object."""
-        asn = self._trie.lookup(ip)
+        asn = self.ip_to_asn(ip)
         return None if asn is None else self._by_asn[asn]
 
     def ip_to_prefix(self, ip: int) -> Optional[Prefix]:

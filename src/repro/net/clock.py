@@ -92,6 +92,11 @@ class EventScheduler:
         Callbacks may schedule further events; those fire too if due within
         the window.  Returns the number of events fired.
         """
+        if not self._heap or self._heap[0][0] > when:
+            # Nothing due in the window — the overwhelmingly common case on
+            # the per-request hot path.
+            self._clock.advance_to(when)
+            return 0
         fired_before = self._fired
         while self._heap and self._heap[0][0] <= when:
             due, _seq, callback = heapq.heappop(self._heap)

@@ -254,5 +254,14 @@ class IpAllocator:
         return Prefix(start, length)
 
     def allocate_address(self) -> int:
-        """Allocate a single address (a /32) and return it as an int."""
-        return self.allocate(32).network
+        """Allocate a single address (a /32) and return it as an int.
+
+        Equivalent to ``allocate(32).network`` but skips constructing a
+        :class:`Prefix` — the world generator allocates one address per node,
+        so this is the hottest allocation path at paper scale.
+        """
+        start = self._cursor
+        if start > self._pool.last:
+            raise IpError(f"pool {self._pool} exhausted allocating /32")
+        self._cursor = start + 1
+        return start

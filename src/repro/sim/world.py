@@ -24,7 +24,7 @@ from repro.dnssim.resolver import GooglePublicDns, RecursiveResolver
 from repro.fabric import Internet
 from repro.faults import FaultInjector, get_profile
 from repro.hosts import ExitNodeHost
-from repro.luminati.registry import ExitNodeRegistry
+from repro.luminati.registry import ColumnarNodeRegistry, ExitNodeRegistry, zid_of
 from repro.luminati.service import LuminatiClient
 from repro.luminati.superproxy import SuperProxy
 from repro.middlebox.dns_rewrite import HostDnsRewriter, TransparentDnsProxy
@@ -38,6 +38,17 @@ from repro.net.asn import RouteViewsTable
 from repro.net.geo import CountryRegistry
 from repro.net.ip import IpAllocator, Prefix, str_to_ip
 from repro.net.orgmap import AsOrgMap
+from repro.sim.columnar import (
+    HIJACK_VECTORS,
+    NO_ENTRY,
+    VEC_PUBLIC,
+    VEC_RESOLVER,
+    VEC_PATH,
+    VEC_HOST,
+    HostTable,
+    IspRecord,
+    NodeColumns,
+)
 from repro.sim.config import WorldConfig
 from repro.sim import profiles
 from repro.sim.profiles import (
@@ -131,7 +142,10 @@ class World:
     university_sites: list[SiteRecord]
     invalid_sites: list[SiteRecord]
     monitors: dict[str, ContentMonitor]
-    hosts: list[ExitNodeHost]
+    #: Lazy host views (a :class:`~repro.sim.columnar.HostTable`): length,
+    #: indexing, slicing, and iteration behave like the old eager list, but a
+    #: host object only exists once something touches it.
+    hosts: Sequence[ExitNodeHost]
     truth: WorldTruth
     #: Remaining address space per AS (used by :meth:`rotate_node_ips`).
     as_allocators: dict[int, IpAllocator] = field(default_factory=dict)
@@ -149,6 +163,8 @@ class World:
         Hola nodes change IPs constantly; the persistent ``zID`` is how the
         paper tracks one machine across addresses (§2.3).  Returns how many
         hosts actually moved (an AS with exhausted space keeps its hosts).
+        Note: churning consults every host, so it materializes the full pool
+        — use it on study-scale worlds, not paper-scale ones.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction out of range: {fraction}")
@@ -195,6 +211,21 @@ class _CumulativeTable:
         return self._payloads[bisect.bisect_right(self._cum, u)]
 
 
+def _draw_indexed(applicable, u: float) -> int:
+    """Stacked one-of-N draw over pre-indexed tables; ``NO_ENTRY`` for none.
+
+    ``applicable`` is a tuple of ``(total, cum, payload_indices)`` entries in
+    insertion order.  The subtraction walk is kept identical (not pre-merged
+    into one cumulative list) so borderline floating-point comparisons match
+    the historical per-table draws bit for bit.
+    """
+    for total, cum, indices in applicable:
+        if u < total:
+            return indices[bisect.bisect_right(cum, u)]
+        u -= total
+    return NO_ENTRY
+
+
 class _WorldBuilder:
     """Stateful assembly of one world (one-shot; use :func:`build_world`)."""
 
@@ -207,17 +238,20 @@ class _WorldBuilder:
         self.orgmap = AsOrgMap()
         self.allocator = IpAllocator(Prefix.from_str("16.0.0.0/4"))
         self.truth = WorldTruth()
-        self.hosts: list[ExitNodeHost] = []
+        #: Columnar per-node storage; hosts materialize lazily from it.
+        self.columns = NodeColumns()
+        #: Contiguous ``(country, start, stop)`` node-index runs, in build
+        #: order — the registry's country pools.
+        self._country_runs: list[tuple[str, int, int]] = []
         self._asn_counter = 100_000
         self._used_asns: set[int] = set()
         self._org_counter = 0
         self._country_specs = self._expand_countries(countries)
         self._as_cursors: dict[int, IpAllocator] = {}
+        #: Per-country pre-resolved draw tables (payloads as column indices).
+        self._country_draws: dict[str, tuple] = {}
         # Filled during build:
         self.google: GooglePublicDns
-        self.lum_registry = ExitNodeRegistry(
-            seed=config.seed, repeat_fraction=config.repeat_fraction
-        )
 
     # -- country universe ----------------------------------------------------
 
@@ -659,28 +693,71 @@ class _WorldBuilder:
             dnsrw_entries.append((spec.install_rate, (spec.name, HostDnsRewriter(policy))))
         self._dnsrw_table = _CumulativeTable(dnsrw_entries)
 
-    def _draw_from_tables(self, tables, table_countries, country: str, u: float):
-        """One-of-N draw across the global table plus the country's tables.
+    def _index_payloads(self, table: _CumulativeTable, registry: list, seen: dict):
+        """One table's ``(total, cum, payload_indices)``, payloads interned.
 
-        Applicable tables are stacked: a single uniform draw ``u`` walks them
-        in insertion order, consuming each table's total rate, so the overall
-        selection probability of each entry equals its configured rate.
+        Each payload object lands once in ``registry`` (a column-store
+        payload list); the returned entry references it by index, so the hot
+        per-node loop appends small ints instead of objects.
         """
-        for key, table in tables.items():
-            allowed = table_countries[key]
-            if allowed is not None and country not in allowed:
-                continue
-            total = table.total
-            if u < total:
-                return table.draw(u)
-            u -= total
-        return None
+        indices = []
+        for payload in table._payloads:
+            key = id(payload)
+            position = seen.get(key)
+            if position is None:
+                position = len(registry)
+                registry.append(payload)
+                seen[key] = position
+            indices.append(position)
+        return (table.total, table._cum, indices)
+
+    def _applicable_tables(self, tables, table_countries, country, registry, seen):
+        """The stack of draw tables that apply in ``country``, pre-indexed.
+
+        Applicable tables are stacked: a single uniform draw walks them in
+        insertion order, consuming each table's total rate, so the overall
+        selection probability of each entry equals its configured rate —
+        exactly the arithmetic of the old per-draw dict walk, with the
+        country filtering and payload lookup hoisted out of the node loop.
+        """
+        return tuple(
+            self._index_payloads(table, registry, seen)
+            for key, table in tables.items()
+            if table_countries[key] is None or country in table_countries[key]
+        )
+
+    def _country_draw_tables(self, country: str) -> tuple:
+        """The (injector, mitm, monitor) table stacks for one country."""
+        cached = self._country_draws.get(country)
+        if cached is None:
+            cols = self.columns
+            cached = (
+                self._applicable_tables(
+                    self._injector_tables, self._injector_table_countries,
+                    country, cols.injectors, self._injector_seen,
+                ),
+                self._applicable_tables(
+                    self._mitm_tables, self._mitm_table_countries,
+                    country, cols.mitms, self._mitm_seen,
+                ),
+                self._applicable_tables(
+                    self._monitor_tables, self._monitor_table_countries,
+                    country, cols.monitors, self._monitor_seen,
+                ),
+            )
+            self._country_draws[country] = cached
+        return cached
 
     # -- countries, ISPs, hosts -----------------------------------------------
 
     def build_population(self) -> None:
-        """Create every ISP and exit-node host."""
-        self._zid_counter = 0
+        """Create every ISP and exit-node host (columnar; hosts stay lazy)."""
+        cols = self.columns
+        self._injector_seen: dict[int, int] = {}
+        self._mitm_seen: dict[int, int] = {}
+        self._monitor_seen: dict[int, int] = {}
+        self._misc_entries = (self._index_payloads(self.misc_modifiers, cols.miscs, {}),)
+        self._dnsrw_entries = (self._index_payloads(self._dnsrw_table, cols.dnsrws, {}),)
         for spec in self._country_specs:
             self._build_country(spec)
 
@@ -780,8 +857,12 @@ class _WorldBuilder:
                     )
                 )
 
+        start = len(self.columns)
         for isp, count in planned:
             self._build_isp(spec, isp, count)
+        stop = len(self.columns)
+        if stop > start:
+            self._country_runs.append((spec.code, start, stop))
 
     def _build_isp(self, country: CountrySpec, isp: IspSpec, node_count: int) -> None:
         config = self.config
@@ -907,199 +988,199 @@ class _WorldBuilder:
         )
         path_monitors = (isp_monitor,) if isp_monitor is not None else ()
 
-        minor_state = [minor_slots]
-        resolver_ip_asn = asns[0]
+        # -- the per-node loop, columnar --------------------------------------
+        # Everything below appends one entry per column per node.  The RNG
+        # draw sequence and IP-allocation order replicate the historical
+        # per-object builder exactly — the determinism contract every bench
+        # SHA pins down — while touching only arrays and small ints.
+        cols = self.columns
+        rng_random = self.rng.random
+        truth = self.truth
+        dns_root = self.internet.dns_root
+        register_resolver = self.internet.register_resolver
+        google = self.google
 
-        def make_resolver_ip() -> int:
-            return self._ip_in_as(resolver_ip_asn)
-
-        for node_index in range(node_count):
-            self._build_host(
-                country=country,
-                isp=isp,
+        isp_record_index = cols.add_isp_record(
+            IspRecord(
+                spec=isp,
                 org_id=org_id,
-                asn=asns[node_index % len(asns)],
-                resolver_policy=resolver_policy,
-                hijack_rate=hijack_rate,
+                country_code=country.code,
                 path_proxy=path_proxy,
                 path_http=path_http,
                 path_monitors=path_monitors,
-                majors=majors,
-                major_cum=major_cum,
-                minors=minors,
-                minor_state=minor_state,
-                p_major=p_major,
-                make_resolver_ip=make_resolver_ip,
+                isp_monitor=isp_monitor,
             )
+        )
+        country_code = country.code
+        country_index = cols.countries.intern(country_code)
+        intern_kind = cols.resolver_kinds.intern
+        kind_isp = intern_kind("isp")
+        kind_edge = intern_kind("edge")
+        injector_tables, mitm_tables, monitor_tables = self._country_draw_tables(
+            country_code
+        )
+        misc_tables = self._misc_entries
+        dnsrw_tables = self._dnsrw_entries
 
-    def _build_host(
-        self,
-        country: CountrySpec,
-        isp: IspSpec,
-        org_id: str,
-        asn: int,
-        resolver_policy: Optional[HijackPolicy],
-        hijack_rate: float,
-        path_proxy: Optional[TransparentDnsProxy],
-        path_http: tuple,
-        path_monitors: tuple,
-        majors: list[RecursiveResolver],
-        major_cum: list[float],
-        minors: list[RecursiveResolver],
-        minor_state: list[int],
-        p_major: float,
-        make_resolver_ip,
-    ) -> None:
-        rng = self.rng
-        config = self.config
-        clock = self.internet.clock
-        self._zid_counter += 1
-        zid = f"z{self._zid_counter:08d}"
-        ip = self._ip_in_as(asn)
+        append_ip = cols.ip.append
+        append_asn = cols.asn.append
+        append_country = cols.country_idx.append
+        append_isp = cols.isp_idx.append
+        append_kind = cols.resolver_kind_idx.append
+        append_resolver = cols.resolvers.append
+        append_injector = cols.injector_idx.append
+        append_misc = cols.misc_idx.append
+        append_mitm = cols.mitm_idx.append
+        append_monitor = cols.monitor_idx.append
+        append_dnsrw = cols.dnsrw_idx.append
+        append_vector = cols.hijack_vector.append
+        append_flakiness = cols.flakiness.append
 
-        truth: dict = {"isp": isp.name, "org": org_id, "country": country.code}
-        external = rng.random() < isp.external_dns_fraction
-        resolver: RecursiveResolver
-        resolver_label: str
-        if external:
-            resolver_label, resolver = self._pick_external_resolver(
-                isp.external_google_share
-            )
-            truth["resolver_kind"] = resolver_label
-            self.truth.external_dns_nodes += 1
-            if resolver is self.google:
-                self.truth.google_dns_nodes += 1
-        elif rng.random() < config.edge_resolver_fraction:
-            # A home CPE forwarding to the ISP: unique server IP, same policy.
-            resolver = RecursiveResolver(
-                service_ip=make_resolver_ip(),
-                root=self.internet.dns_root,
-                clock=clock,
-                hijack=resolver_policy,
-                hijack_rate=hijack_rate if resolver_policy else 1.0,
-            )
-            self.internet.register_resolver(resolver)
-            self.truth.resolver_count += 1
-            resolver_label = "edge"
-            truth["resolver_kind"] = "edge"
-        else:
-            if rng.random() < p_major:
-                index = bisect.bisect_right(major_cum, rng.random() * major_cum[-1])
-                resolver = majors[min(index, len(majors) - 1)]
+        external_fraction = isp.external_dns_fraction
+        google_share = isp.external_google_share
+        edge_fraction = config.edge_resolver_fraction
+        as_count = len(asns)
+        as_cursors = [self._as_cursors[a] for a in asns]
+        resolver_cursor = as_cursors[0]
+        resolver_kwargs = dict(
+            root=dns_root,
+            clock=clock,
+            hijack=resolver_policy,
+            hijack_rate=hijack_rate if resolver_policy else 1.0,
+        )
+        isp_hijacks_resolution = resolver_policy is not None and hijack_rate >= 0.5
+        has_isp_monitor = isp_monitor is not None
+        isp_monitor_entity = isp.monitor
+        has_transcoder = isp.transcoder is not None
+        first_is_transcoder = (
+            has_transcoder
+            and bool(path_http)
+            and isinstance(path_http[0], ImageTranscoder)
+        )
+
+        for node_index in range(node_count):
+            as_slot = node_index % as_count
+            asn = asns[as_slot]
+            index = len(cols.ip)
+            ip = as_cursors[as_slot].allocate_address()
+
+            external = rng_random() < external_fraction
+            if external:
+                resolver_label, resolver = self._pick_external_resolver(google_share)
+                kind_index = intern_kind(resolver_label)
+                truth.external_dns_nodes += 1
+                if resolver is google:
+                    truth.google_dns_nodes += 1
+            elif rng_random() < edge_fraction:
+                # A home CPE forwarding to the ISP: unique server IP, same
+                # policy.
+                resolver = RecursiveResolver(
+                    service_ip=resolver_cursor.allocate_address(), **resolver_kwargs
+                )
+                register_resolver(resolver)
+                truth.resolver_count += 1
+                kind_index = kind_edge
             else:
-                slot = minor_state[0]
-                minor_state[0] += 1
-                index = slot // MINOR_RESOLVER_LOAD
-                while index >= len(minors):
-                    minor = RecursiveResolver(
-                        service_ip=make_resolver_ip(),
-                        root=self.internet.dns_root,
-                        clock=clock,
-                        hijack=resolver_policy,
-                        hijack_rate=hijack_rate if resolver_policy else 1.0,
-                    )
-                    self.internet.register_resolver(minor)
-                    self.truth.resolver_count += 1
-                    minors.append(minor)
-                resolver = minors[index]
-            resolver_label = "isp"
-            truth["resolver_kind"] = "isp"
+                if rng_random() < p_major:
+                    pick = bisect.bisect_right(major_cum, rng_random() * major_cum[-1])
+                    resolver = majors[min(pick, major_count - 1)]
+                else:
+                    pick = minor_slots // MINOR_RESOLVER_LOAD
+                    minor_slots += 1
+                    while pick >= len(minors):
+                        minor = RecursiveResolver(
+                            service_ip=resolver_cursor.allocate_address(),
+                            **resolver_kwargs,
+                        )
+                        register_resolver(minor)
+                        truth.resolver_count += 1
+                        minors.append(minor)
+                    resolver = minors[pick]
+                kind_index = kind_isp
 
-        host = ExitNodeHost(zid=zid, ip=ip, asn=asn, resolver=resolver, internet=self.internet)
-        host.truth = truth
+            # Host software draws (one uniform draw each, always consumed).
+            injector_pick = _draw_indexed(injector_tables, rng_random())
+            misc_pick = _draw_indexed(misc_tables, rng_random())
+            mitm_pick = _draw_indexed(mitm_tables, rng_random())
+            monitor_pick = _draw_indexed(monitor_tables, rng_random())
+            dnsrw_pick = _draw_indexed(dnsrw_tables, rng_random())
+            if injector_pick != NO_ENTRY:
+                truth.injector_nodes[cols.injectors[injector_pick].family] += 1
+            if misc_pick != NO_ENTRY:
+                truth.dropper_nodes[cols.miscs[misc_pick][0]] += 1
+            if mitm_pick != NO_ENTRY:
+                truth.mitm_nodes[cols.mitms[mitm_pick].behavior.product] += 1
+            if monitor_pick != NO_ENTRY:
+                truth.monitor_nodes[cols.monitors[monitor_pick].entity] += 1
 
-        # ISP path hooks.
-        if path_proxy is not None and external:
-            host.path_dns_rewriters = (path_proxy,)
-        host.path_http_modifiers = path_http
-        host.path_monitors = path_monitors
+            # Ground-truth hijack accounting.
+            zid = None
+            vector = NO_ENTRY
+            operator = None
+            if external:
+                hijack = resolver.hijack
+                if hijack is not None and resolver.hijack_rate >= 0.5:
+                    vector = VEC_PUBLIC
+                    operator = hijack.operator
+            elif isp_hijacks_resolution:
+                vector = VEC_RESOLVER
+                operator = resolver_policy.operator
+            if vector == NO_ENTRY:
+                if path_proxy is not None and external:
+                    zid = zid_of(index)
+                    if path_proxy.applies_to(zid):
+                        vector = VEC_PATH
+                        operator = path_proxy.policy.operator
+                if vector == NO_ENTRY and dnsrw_pick != NO_ENTRY:
+                    vector = VEC_HOST
+                    operator = cols.dnsrws[dnsrw_pick][0]
+            if vector != NO_ENTRY:
+                truth.hijacked_nodes += 1
+                truth.hijack_by_vector[HIJACK_VECTORS[vector]] += 1
+                truth.hijack_by_operator[operator] += 1
 
-        # Host software.
-        cc = country.code
-        injector = self._draw_from_tables(
-            self._injector_tables, self._injector_table_countries, cc, rng.random()
-        )
-        if injector is not None:
-            host.host_http_modifiers += (injector,)
-            truth["injector"] = injector.family
-            self.truth.injector_nodes[injector.family] += 1
+            if has_isp_monitor:
+                if zid is None:
+                    zid = zid_of(index)
+                if isp_monitor.monitors_node(zid):
+                    truth.monitor_nodes[isp_monitor_entity] += 1
+            if has_transcoder:
+                truth.transcoder_nodes[asn] += 1
+                if first_is_transcoder:
+                    if zid is None:
+                        zid = zid_of(index)
+                    if path_http[0].applies_to(zid):
+                        truth.transcoder_affected[asn] += 1
 
-        misc = self.misc_modifiers.draw(rng.random())
-        if misc is not None:
-            kind, modifier = misc
-            host.host_http_modifiers += (modifier,)
-            truth["misc_modifier"] = kind
-            self.truth.dropper_nodes[kind] += 1
+            append_ip(ip)
+            append_asn(asn)
+            append_country(country_index)
+            append_isp(isp_record_index)
+            append_kind(kind_index)
+            append_resolver(resolver)
+            append_injector(injector_pick)
+            append_misc(misc_pick)
+            append_mitm(mitm_pick)
+            append_monitor(monitor_pick)
+            append_dnsrw(dnsrw_pick)
+            append_vector(vector)
 
-        mitm = self._draw_from_tables(
-            self._mitm_tables, self._mitm_table_countries, cc, rng.random()
-        )
-        if mitm is not None:
-            host.host_tls_interceptors += (mitm,)
-            truth["mitm"] = mitm.behavior.product
-            self.truth.mitm_nodes[mitm.behavior.product] += 1
-            if mitm.behavior.product == "Cloudguard.me":
-                host.host_http_modifiers += (self.cloudguard_injector,)
+            flakiness = 0.01 + rng_random() * 0.04
+            if rng_random() < 0.1:
+                flakiness = 0.1 + rng_random() * 0.15
+            append_flakiness(flakiness)
 
-        monitor = self._draw_from_tables(
-            self._monitor_tables, self._monitor_table_countries, cc, rng.random()
-        )
-        if monitor is not None:
-            host.host_monitors += (monitor,)
-            truth["monitor"] = monitor.entity
-            self.truth.monitor_nodes[monitor.entity] += 1
-            if monitor.entity == "AnchorFree" and self.anchorfree_pops:
-                host.vpn_egress_ips = self.anchorfree_pops
-
-        dnsrw = self._dnsrw_table.draw(rng.random())
-        if dnsrw is not None:
-            name, rewriter = dnsrw
-            host.host_dns_rewriters = (rewriter,)
-            truth["host_dns_rewriter"] = name
-
-        # Ground-truth hijack accounting.
-        vector = None
-        operator = None
-        if resolver.hijack is not None and resolver.hijack_rate >= 0.5:
-            vector = "public" if resolver_label not in ("isp", "edge") else "resolver"
-            operator = resolver.hijack.operator
-        elif path_proxy is not None and external and path_proxy.applies_to(zid):
-            vector = "path"
-            operator = path_proxy.policy.operator
-        elif "host_dns_rewriter" in truth:
-            vector = "host"
-            operator = truth["host_dns_rewriter"]
-        if vector is not None:
-            self.truth.hijacked_nodes += 1
-            self.truth.hijack_by_vector[vector] += 1
-            self.truth.hijack_by_operator[operator] += 1
-            truth["hijack_vector"] = vector
-
-        if isp.monitor is not None:
-            monitor_obj = self.monitors[isp.monitor]
-            if monitor_obj.monitors_node(zid):
-                self.truth.monitor_nodes[isp.monitor] += 1
-                truth.setdefault("monitor", isp.monitor)
-        if isp.transcoder is not None:
-            self.truth.transcoder_nodes[asn] += 1
-            transcoder = host.path_http_modifiers[0]
-            if isinstance(transcoder, ImageTranscoder) and transcoder.applies_to(zid):
-                self.truth.transcoder_affected[asn] += 1
-            truth["mobile_transcoder"] = isp.name
-        if isp.web_filter_tag:
-            self.truth.web_filter_nodes += 1
-        if isp.http_proxy_via:
-            truth["http_proxy"] = isp.http_proxy_via
-
-        self.truth.nodes_total += 1
-        self.truth.nodes_by_country[country.code] += 1
-        self.truth.nodes_by_asn[asn] += 1
-        self.hosts.append(host)
-
-        flakiness = 0.01 + rng.random() * 0.04
-        if rng.random() < 0.1:
-            flakiness = 0.1 + rng.random() * 0.15
-        self.lum_registry.add(host, country.code, flakiness=flakiness)
+        # Per-ISP constant counters, hoisted out of the node loop.
+        if node_count > 0:
+            truth.nodes_total += node_count
+            truth.nodes_by_country[country_code] += node_count
+            base_share, extra = divmod(node_count, as_count)
+            for as_slot, asn in enumerate(asns):
+                share = base_share + (1 if as_slot < extra else 0)
+                if share:
+                    truth.nodes_by_asn[asn] += share
+            if isp.web_filter_tag:
+                truth.web_filter_nodes += node_count
 
     # -- final assembly -----------------------------------------------------------
 
@@ -1109,19 +1190,31 @@ class _WorldBuilder:
         # the fault-free simulation byte-identical to pre-fault builds).
         faults = FaultInjector.from_config(self.config)
         profile = get_profile(self.config.fault_profile)
+        # Lazy host views over the columns; the fault injector is applied to
+        # each host at materialization, so chaos worlds stay lazy too.
+        hosts = HostTable(
+            self.columns,
+            self.internet,
+            self.cloudguard_injector,
+            self.anchorfree_pops,
+            faults=faults,
+        )
+        lum_registry = ColumnarNodeRegistry(
+            hosts=hosts,
+            country_runs=self._country_runs,
+            seed=self.config.seed,
+            repeat_fraction=self.config.repeat_fraction,
+        )
         superproxy = SuperProxy(
             ip=self.superproxy_ip,
             internet=self.internet,
-            registry=self.lum_registry,
+            registry=lum_registry,
             google=self.google,
             seed=self.config.seed,
             pacing_seconds=self.config.pacing_seconds,
             faults=faults,
             attempt_timeout_seconds=profile.attempt_timeout_seconds,
         )
-        if faults is not None:
-            for host in self.hosts:
-                host.faults = faults
         client = LuminatiClient(superproxy)
         return World(
             config=self.config,
@@ -1129,7 +1222,7 @@ class _WorldBuilder:
             internet=self.internet,
             routeviews=self.routeviews,
             orgmap=self.orgmap,
-            registry=self.lum_registry,
+            registry=lum_registry,
             superproxy=superproxy,
             client=client,
             google=self.google,
@@ -1143,7 +1236,7 @@ class _WorldBuilder:
             university_sites=self.university_sites,
             invalid_sites=self.invalid_sites,
             monitors=self.monitors,
-            hosts=self.hosts,
+            hosts=hosts,
             truth=self.truth,
             as_allocators=self._as_cursors,
             faults=faults,

@@ -41,7 +41,11 @@ class RootStore:
     def trusts(self, cert: Certificate) -> bool:
         """Whether a certificate *is* one of the trusted roots."""
         stored = self._by_key.get(cert.public_key_id)
-        return stored is not None and stored.fingerprint() == cert.fingerprint()
+        if stored is None:
+            return False
+        # Chains built from the shared CA objects present the identical root
+        # instance, so the fingerprint comparison is only needed for copies.
+        return stored is cert or stored.fingerprint() == cert.fingerprint()
 
     def __len__(self) -> int:
         return len(self._by_key)

@@ -94,12 +94,14 @@ def make_js(size: int, seed: str = "tft-js") -> bytes:
         "    var measurements = [];",
     ]
     counter = 0
+    total = sum(len(line) + 1 for line in lines)
     # Grow readable function bodies until near the target, then pad exactly.
-    while sum(len(line) + 1 for line in lines) < size - 512:
+    while total < size - 512:
         token = hashlib.sha256(f"{seed}:{counter}".encode("ascii")).hexdigest()[:12]
         lines.append(f"    function probe_{token}() {{")
         lines.append(f'        measurements.push("{token}");')
         lines.append("    }")
+        total += sum(len(line) + 1 for line in lines[-3:])
         counter += 1
     lines.append("})();")
     return _pad_to("\n".join(lines) + "\n", size, "/*", "*/")
@@ -109,9 +111,12 @@ def make_css(size: int, seed: str = "tft-css") -> bytes:
     """An un-minified CSS file of exactly ``size`` bytes."""
     rules = []
     counter = 0
-    while sum(len(rule) + 1 for rule in rules) < size - 256:
+    total = 0
+    while total < size - 256:
         token = hashlib.sha256(f"{seed}:{counter}".encode("ascii")).hexdigest()[:6]
-        rules.append(f".probe-{token} {{\n    color: #{token};\n    margin: 0;\n}}")
+        rule = f".probe-{token} {{\n    color: #{token};\n    margin: 0;\n}}"
+        rules.append(rule)
+        total += len(rule) + 1
         counter += 1
     return _pad_to("\n".join(rules) + "\n", size, "/*", "*/")
 
@@ -152,12 +157,7 @@ class ContentCorpus:
 
     def body(self, kind: ObjectKind) -> bytes:
         """Ground-truth bytes for one object kind."""
-        return {
-            ObjectKind.HTML: self.html,
-            ObjectKind.JPEG: self.jpeg,
-            ObjectKind.JS: self.js,
-            ObjectKind.CSS: self.css,
-        }[kind]
+        return getattr(self, kind.value)
 
     def path(self, kind: ObjectKind) -> str:
         """Serving path for one object kind."""
@@ -165,11 +165,11 @@ class ContentCorpus:
 
     def kind_for_path(self, path: str) -> ObjectKind | None:
         """Reverse lookup from serving path to kind."""
-        for kind, known in self.PATHS.items():
-            if known == path:
-                return kind
-        return None
+        return _KIND_BY_PATH.get(path)
 
     def is_modified(self, kind: ObjectKind, received: bytes) -> bool:
         """The §5 detector: any byte-level difference counts as modification."""
         return received != self.body(kind)
+
+
+_KIND_BY_PATH = {path: kind for kind, path in ContentCorpus.PATHS.items()}

@@ -44,16 +44,21 @@ class SyntheticJpeg:
 
 
 def _noise(seed: str, length: int) -> bytes:
-    """Deterministic pseudo-noise payload of exactly ``length`` bytes."""
-    chunks: list[bytes] = []
-    counter = 0
-    remaining = length
-    while remaining > 0:
-        block = hashlib.sha256(f"{seed}:{counter}".encode("ascii")).digest()
-        chunks.append(block[:remaining])
-        remaining -= len(block[:remaining])
-        counter += 1
-    return b"".join(chunks)
+    """Deterministic pseudo-noise payload of exactly ``length`` bytes.
+
+    Block ``i`` is ``sha256(f"{seed}:{i}")``; the concatenation is truncated
+    to ``length``.  The byte stream is pinned by stored datasets — any
+    rewrite here must keep it identical.
+    """
+    if length <= 0:
+        return b""
+    prefix = f"{seed}:".encode("ascii")
+    sha = hashlib.sha256
+    blob = b"".join(
+        sha(prefix + b"%d" % counter).digest()
+        for counter in range((length + 31) // 32)
+    )
+    return blob[:length]
 
 
 def make_jpeg(total_size: int, quality: int = 95, seed: str = "tft-image") -> bytes:

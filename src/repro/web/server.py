@@ -57,6 +57,19 @@ class MeasurementWebServer:
         self.corpus = corpus
         self.log = AccessLog()
         self._dynamic_counter = 0
+        # Corpus responses are identical for every request and HttpResponse
+        # is frozen, so one shared instance per object serves the whole run.
+        self._corpus_responses = (
+            {
+                corpus.path(kind): HttpResponse.ok(corpus.body(kind), CONTENT_TYPES[kind])
+                for kind in corpus.PATHS
+            }
+            if corpus is not None
+            else {}
+        )
+        # The default page is what every unique per-probe domain returns —
+        # the single hottest response — and it is identical every time.
+        self._default_response = HttpResponse.ok(self.DEFAULT_PAGE)
 
     def handle_http(self, request: HttpRequest) -> HttpResponse:
         """Serve a request and record it."""
@@ -74,16 +87,15 @@ class MeasurementWebServer:
         return response
 
     def _route(self, request: HttpRequest) -> HttpResponse:
-        if self.corpus is not None:
-            kind = self.corpus.kind_for_path(request.path)
-            if kind is not None:
-                return HttpResponse.ok(self.corpus.body(kind), CONTENT_TYPES[kind])
+        response = self._corpus_responses.get(request.path)
+        if response is not None:
+            return response
         if request.path == self.DYNAMIC_PATH:
             self._dynamic_counter += 1
             token = f"dynamic-token-{self._dynamic_counter:09d}" + "x" * 1100
             return HttpResponse.ok(token.encode("ascii"), "text/plain")
         if request.path == "/":
-            return HttpResponse.ok(self.DEFAULT_PAGE)
+            return self._default_response
         return HttpResponse.not_found(f"no such path {request.path}")
 
 

@@ -1,0 +1,24 @@
+"""Fixture: a shared column array mutated from a worker entrypoint.
+
+The columnar world ships :mod:`array` columns to workers; they are frozen
+by convention after the build, and RACE001 is what enforces the convention.
+"""
+
+from array import array
+
+_IP_COLUMN = array("I")
+
+
+def lookup(index):
+    # Reading a shared column is fine.
+    return _IP_COLUMN[index]
+
+
+def work(task):
+    # Appending to it from a worker is the race the rule must catch.
+    _IP_COLUMN.append(task)
+    return lookup(len(_IP_COLUMN) - 1)
+
+
+def main(pool, tasks):
+    return pool.run(tasks, work)

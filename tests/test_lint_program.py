@@ -96,6 +96,15 @@ class TestRaceRules:
         result = _analyze("race_neg")
         assert not {"RACE001", "RACE002"} & _rules(result)
 
+    def test_shared_column_array_mutation_is_race001(self):
+        # The columnar world's array-backed columns are shared with worker
+        # processes; mutating one from a worker-reachable function must be
+        # flagged, read-only access must not.
+        result = _analyze("race_array")
+        race1 = [f for f in result.findings if f.rule == "RACE001"]
+        assert len(race1) == 1
+        assert race1[0].symbol == "_IP_COLUMN@work"
+
 
 class TestParseErrors:
     def test_unparseable_file_is_a_finding_not_a_crash(self):
