@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Throughput of the continuous-measurement service; emit ``BENCH_serve.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--tenants 1,4,16]
+                                                    [--rounds N] [--workers N]
+                                                    [--out PATH]
+
+For each tenant count T, the benchmark registers T tenants on one
+:class:`repro.serve.Service`, each with its own recurring daily re-crawl
+(distinct study seeds, so first rounds genuinely execute), and drains the
+whole schedule.  Recorded per point:
+
+* sustained throughput — studies per wall-clock hour (the daemon's real
+  capacity) and per simulated day (the timeline the studies occupy);
+* the shard-cache hit rate — rounds after the first are verbatim
+  re-submissions, so the cache converts a T-tenant, R-round queue into
+  T executions plus T*(R-1) hits;
+* a ledger SHA-256 over every completed study's
+  ``(tenant, name, occurrence, digest, dataset sha)`` — bit-stable, so two
+  machines benchmarking the same tree must agree on it (the wall-clock
+  block is the only machine-dependent part).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.engine import StudySpec
+from repro.serve import Recurrence, Service
+from repro.sim import WorldConfig
+from repro.sim.profiles import CountrySpec, IspSpec, ResolverHijackSpec
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+DAY = 86_400.0
+
+#: Concurrent-tenant points (the acceptance floor is three counts).
+TENANT_COUNTS = (1, 4, 16)
+
+#: The per-tenant study world: small and explicit, so the benchmark times
+#: the service machinery and cache rather than world construction.
+BENCH_COUNTRIES = (
+    CountrySpec(
+        code="AA",
+        population=260,
+        isps=(
+            IspSpec(
+                name="AlphaNet",
+                share=0.6,
+                major_resolvers=2,
+                resolver_hijack=ResolverHijackSpec("portal.alphanet.example"),
+            ),
+        ),
+    ),
+    CountrySpec(code="BB", population=180),
+)
+
+BENCH_CONFIG = WorldConfig(
+    scale=1.0,
+    seed=11,
+    include_rare_tail=False,
+    alexa_countries=2,
+    popular_sites_per_country=5,
+    university_sites=3,
+)
+
+
+def tenant_spec(tenant_index: int, shards: int) -> StudySpec:
+    """Each tenant re-crawls its own plan (distinct study seed)."""
+    return StudySpec(
+        config=BENCH_CONFIG,
+        countries=BENCH_COUNTRIES,
+        seed=1000 + tenant_index,
+        shards=shards,
+        workers=1,
+        window=40,
+    )
+
+
+def ledger_sha(completed) -> str:
+    """SHA-256 over the canonical completed-study ledger (bit-stable)."""
+    lines = [
+        json.dumps(
+            [c.tenant, c.name, c.occurrence, c.digest, c.summary_sha],
+            separators=(",", ":"),
+        )
+        for c in completed
+    ]
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def bench_tenants(tenants: int, rounds: int, shards: int, workers: int) -> dict:
+    """Benchmark one tenant count; return its result block."""
+    service = Service(seed=7, workers=workers)
+    for index in range(tenants):
+        service.schedule(
+            f"tenant-{index:02d}",
+            "daily-recrawl",
+            tenant_spec(index, shards),
+            Recurrence(interval=DAY, count=rounds),
+        )
+    started = time.perf_counter()
+    completed = service.run(until=rounds * 10 * DAY)
+    wall = time.perf_counter() - started
+    expected = tenants * rounds
+    if len(completed) != expected:
+        raise SystemExit(
+            f"tenants={tenants}: {len(completed)} studies completed, "
+            f"expected {expected}"
+        )
+    cached = sum(c.cached_shards for c in completed)
+    total_shards = sum(c.shard_count for c in completed)
+    sim_days = service.clock.now / DAY
+    print(
+        f"  tenants={tenants}: {len(completed)} studies in {wall:.1f}s wall "
+        f"({sim_days:.1f} simulated days), cache hit rate "
+        f"{service.cache_hit_rate:.1%}",
+        flush=True,
+    )
+    return {
+        "tenants": tenants,
+        "rounds": rounds,
+        "shards_per_study": shards,
+        "studies": len(completed),
+        "cache_hit_rate": round(service.cache_hit_rate, 4),
+        "cached_shards": cached,
+        "executed_shards": total_shards - cached,
+        "sim_seconds": round(service.clock.now, 3),
+        "studies_per_sim_day": round(len(completed) / sim_days, 3) if sim_days else 0.0,
+        "ledger_sha256": ledger_sha(completed),
+        "wall_seconds": {
+            "total": round(wall, 3),
+            "per_study_mean": round(wall / len(completed), 3),
+        },
+        "studies_per_wall_hour": round(len(completed) / (wall / 3600.0), 1),
+    }
+
+
+def bench_resubmission(shards: int, workers: int) -> dict:
+    """The incremental headline: a verbatim re-run served 100% from cache."""
+    timings: dict[str, float] = {}
+    shas: dict[str, str] = {}
+    service = Service(seed=7, workers=workers)
+    for label in ("cold", "warm"):
+        service.submit("acme", label, tenant_spec(0, shards))
+        started = time.perf_counter()
+        (done,) = service.run()
+        timings[label] = time.perf_counter() - started
+        shas[label] = done.summary_sha
+        print(f"  resubmission {label}: {timings[label]:.2f}s", flush=True)
+    if shas["cold"] != shas["warm"]:
+        raise SystemExit("cached re-submission changed the datasets")
+    return {
+        "shards": shards,
+        "dataset_summary_sha256": shas["cold"],
+        "cache_hit_rate": round(service.cache_hit_rate, 4),
+        "wall_seconds": {
+            "cold": round(timings["cold"], 3),
+            "warm": round(timings["warm"], 3),
+        },
+        "speedup": round(timings["cold"] / max(timings["warm"], 1e-9), 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tenants", default=",".join(str(t) for t in TENANT_COUNTS),
+        help=f"comma-separated tenant counts (default: "
+        f"{','.join(str(t) for t in TENANT_COUNTS)})",
+    )
+    parser.add_argument("--rounds", type=int, default=3, help="re-crawl rounds per tenant")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="service worker processes (results identical for any value)",
+    )
+    parser.add_argument(
+        "--out", default=str(RESULTS_DIR / "BENCH_serve.json"),
+        help="output path (default: results/BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+    counts = [int(part) for part in args.tenants.split(",") if part.strip()]
+
+    payload: dict = {
+        "benchmark": "serve-continuous-measurement",
+        "rounds": args.rounds,
+        "tenant_points": {},
+    }
+    for tenants in counts:
+        print(f"benchmarking {tenants} concurrent tenant(s) ...", flush=True)
+        payload["tenant_points"][str(tenants)] = bench_tenants(
+            tenants, args.rounds, args.shards, args.workers
+        )
+    print("benchmarking verbatim re-submission (cold vs warm) ...", flush=True)
+    payload["resubmission"] = bench_resubmission(args.shards, args.workers)
+
+    mean_rate = statistics.mean(
+        point["cache_hit_rate"] for point in payload["tenant_points"].values()
+    )
+    payload["mean_cache_hit_rate"] = round(mean_rate, 4)
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,12 +2,18 @@
 """Scenario: continuous measurement — catch an ISP turning hijacking on.
 
 The paper's conclusion pitches exactly this: because a Luminati-style crawl
-takes days rather than years, violations can be watched *over time*.  The
-script runs three daily NXDOMAIN waves; between waves the network churns
-(a quarter of nodes change IP) and, after the first wave, one previously
-clean ISP quietly deploys a transparent NXDOMAIN-rewriting proxy.  The
-per-node join across waves — possible only because zIDs persist across
-address changes — pinpoints both the moment and the network.
+takes days rather than years, violations can be watched *over time*.  This
+version runs the watch the way a deployed monitor would — as jobs on the
+``repro.serve`` Service.  Three daily NXDOMAIN waves are registered as a
+recurring schedule on the service's simulated clock; the ISP's interception
+roll-out is itself a scheduled one-shot job that fires *between* waves.
+The service drains the queue, and the per-node join across waves — possible
+only because zIDs persist across address churn — pinpoints both the moment
+and the network.
+
+(Scheduling is the service's job; the waves mutate one shared world, so they
+ride the service's callable path rather than the cached engine path — see
+``docs/service.md`` for the distinction.)
 """
 
 from __future__ import annotations
@@ -18,6 +24,9 @@ from collections import Counter
 from repro import WorldConfig, build_world
 from repro.core.reports import render_table
 from repro.ext.longitudinal import LongitudinalStudy, enable_path_hijack
+from repro.serve import Recurrence, Service
+
+DAY = 86_400.0
 
 
 def main() -> None:
@@ -26,19 +35,36 @@ def main() -> None:
     world = build_world(config)
     study = LongitudinalStudy(world=world, seed=95)
 
-    print("Wave 0 (baseline) ...", flush=True)
-    started = time.perf_counter()
-    study.run_wave()
-    print(f"  done in {time.perf_counter() - started:.1f}s")
-
     victim_isp = "Telecom FR 000"  # a large, previously clean generic ISP
-    affected = enable_path_hijack(world, victim_isp, "assist.telecomfr.example")
-    print(f"\n[day 1] {victim_isp} silently deploys NXDOMAIN interception "
-          f"({affected:,} subscriber paths affected)\n")
 
-    for _ in range(2):
-        print(f"Wave {len(study.waves)} ...", flush=True)
-        study.run_wave()
+    service = Service(seed=7)
+    # Three daily waves, starting now (wave 0 is the clean baseline).
+    study.schedule_on(service, tenant="watch", name="nxdomain-wave", count=3)
+
+    # The ISP flips interception on half a day after the baseline — a
+    # scheduled job like any other, so the timeline lives in one place.
+    def deploy(_service: Service, _submission) -> dict:
+        affected = enable_path_hijack(
+            world, victim_isp, "assist.telecomfr.example"
+        )
+        print(
+            f"\n[day {_service.clock.now / DAY:.1f}] {victim_isp} silently "
+            f"deploys NXDOMAIN interception ({affected:,} subscriber paths "
+            "affected)\n"
+        )
+        return {"affected": affected}
+
+    service.schedule_callable(
+        "watch", "deploy-interception", deploy, Recurrence.once(DAY / 2)
+    )
+
+    print("Serving 3 daily waves (simulated) ...", flush=True)
+    started = time.perf_counter()
+    completed = service.run(until=2 * DAY)
+    print(
+        f"  {len(completed)} jobs in {service.clock.now / DAY:.1f} simulated "
+        f"days ({time.perf_counter() - started:.1f}s wall)"
+    )
 
     print()
     print(

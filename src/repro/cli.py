@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the full pipeline without writing any code:
+Seven commands cover the full pipeline without writing any code:
 
 * ``world-info`` — build a world and summarize its population;
 * ``run`` — run one (or all) of the paper's four experiments, print the
@@ -9,6 +9,9 @@ Six commands cover the full pipeline without writing any code:
   (``--shards/--workers/--checkpoint/--resume``, plus ``--trace`` /
   ``--obs-metrics`` for the observability plane; see ``docs/engine.md``
   and ``docs/observability.md``);
+* ``serve`` — drain a JSON queue spec as a multi-tenant
+  continuous-measurement service with digest-keyed incremental re-crawls
+  (see ``docs/service.md``);
 * ``trace`` — summarize or export a trace written by ``study --trace``
   (Chrome trace-event JSON, Prometheus text, metrics snapshot);
 * ``report`` — re-print the tables for a previously saved dataset;
@@ -342,6 +345,53 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import build_service, load_specfile, parse_interval
+
+    payload = load_specfile(args.specfile)
+    service, horizon = build_service(
+        payload, workers=args.workers, state_dir=args.state_dir
+    )
+    if args.until is not None:
+        horizon = parse_interval(args.until)
+    entries = payload.get("studies", [])
+    print(
+        f"serve: {len(entries)} study entries, horizon {horizon:,.0f}s simulated, "
+        f"workers={args.workers}"
+        + (f", state={args.state_dir}" if args.state_dir else " (in-memory)"),
+        flush=True,
+    )
+    started = time.perf_counter()
+    completed = service.run(until=horizon, max_studies=args.max_studies)
+    elapsed = time.perf_counter() - started
+    for study in completed:
+        if study.shard_count:
+            outcome = (
+                f"{study.cached_shards}/{study.shard_count} shards cached, "
+                f"sha {study.summary_sha[:12]}"
+            )
+        else:
+            outcome = "callable"
+        print(
+            f"  [{study.sid:03d}] {study.tenant}/{study.name}#{study.occurrence} "
+            f"done t={study.completed_at:,.0f}s ({outcome})"
+        )
+    sim_hours = service.clock.now / 3600.0
+    throughput = len(completed) / sim_hours if sim_hours else 0.0
+    print(
+        f"serve: {len(completed)} studies in {service.clock.now:,.0f}s simulated "
+        f"({elapsed:.1f}s wall), {throughput:.2f} studies/sim-hour, "
+        f"cache hit rate {service.cache_hit_rate:.1%}, "
+        f"queue depth {service.queue.depth()}"
+    )
+    if args.prom:
+        path = pathlib.Path(args.prom)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(service.prometheus_text(), encoding="utf-8")
+        print(f"prometheus exposition written to {path}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import TraceLog, export_trace, render_summary
 
@@ -536,6 +586,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_cmd.add_argument("--out", help="output path (default: stdout)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="drain a queue spec as a continuous-measurement service "
+        "(multi-tenant scheduling + digest-keyed incremental re-crawls)",
+    )
+    serve.add_argument("specfile", help="JSON queue spec (see docs/service.md)")
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes shared by every study the service drains "
+        "(results are identical for any value; default 1)",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR",
+        help="persist the shard cache and service journal here; re-running "
+        "the same spec against the same state dir is the crash-resume path",
+    )
+    serve.add_argument(
+        "--until", metavar="INTERVAL",
+        help="override the spec's horizon (seconds or shorthand like 3d)",
+    )
+    serve.add_argument(
+        "--max-studies", type=int, metavar="N",
+        help="stop after N completed studies (crash simulation / smoke runs)",
+    )
+    serve.add_argument(
+        "--prom", metavar="PATH",
+        help="write the service metrics as a Prometheus text exposition",
+    )
+
     report = sub.add_parser("report", help="re-print tables for a saved dataset")
     report.add_argument("--experiment", choices=EXPERIMENTS, required=True)
     report.add_argument("--dataset", required=True, help="JSONL file from `run --out`")
@@ -601,6 +680,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "world-info": _cmd_world_info,
         "run": _cmd_run,
         "study": _cmd_study,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "report": _cmd_report,
         "lint": _cmd_lint,

@@ -181,17 +181,24 @@ def run_full_study(
     workers: Optional[int] = None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    shard_cache: Optional[object] = None,
 ) -> StudyResults:
     """Run all four experiments and every analysis; return the bundle.
 
     Pass an existing ``world`` to reuse one, or a ``config`` (default: 2%
     scale) to build one.  Setting any of ``shards``/``workers``/
-    ``checkpoint``/``resume`` routes execution through the sharded engine
-    (:mod:`repro.engine`), which rebuilds worlds per shard and therefore
-    cannot accept a pre-built ``world``.
+    ``checkpoint``/``resume``/``shard_cache`` routes execution through the
+    sharded engine (:mod:`repro.engine`), which rebuilds worlds per shard
+    and therefore cannot accept a pre-built ``world``.  ``shard_cache`` is
+    a digest-keyed shard result cache (see :mod:`repro.serve.cache`);
+    cached shards are reused bit-for-bit instead of re-executed.
     """
     use_engine = (
-        shards is not None or workers is not None or checkpoint is not None or resume
+        shards is not None
+        or workers is not None
+        or checkpoint is not None
+        or resume
+        or shard_cache is not None
     )
     if use_engine:
         if world is not None:
@@ -209,7 +216,9 @@ def run_full_study(
             shards=shards if shards is not None else 1,
             workers=workers if workers is not None else 1,
         )
-        run = run_study(spec, checkpoint=checkpoint, resume=resume)
+        run = run_study(
+            spec, checkpoint=checkpoint, resume=resume, shard_cache=shard_cache
+        )
         assert run.results is not None
         run.results.engine_report = run.report.to_dict()
         return run.results

@@ -44,6 +44,7 @@ from repro.engine.sharding import (
 )
 from repro.engine.study import (
     EngineRun,
+    ShardCache,
     StudySpec,
     compute_plans,
     dataset_summary,
@@ -51,6 +52,7 @@ from repro.engine.study import (
     run_digest,
     run_plan_serial,
     run_study,
+    shard_cache_key,
 )
 
 __all__ = [
@@ -65,6 +67,7 @@ __all__ = [
     "RunManifest",
     "RunReport",
     "SerialExecutor",
+    "ShardCache",
     "ShardMetrics",
     "ShardSpec",
     "ShardTask",
@@ -84,6 +87,7 @@ __all__ = [
     "run_plan_serial",
     "run_shard",
     "run_study",
+    "shard_cache_key",
     "shard_of",
     "shard_registry",
     "stable_digest",

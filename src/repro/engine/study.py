@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Protocol
 
 from repro.core.crawler import DEFAULT_STOP_THRESHOLD, DEFAULT_WINDOW, CrawlController
 from repro.core.export import dataset_from_dict, dataset_to_dict
@@ -110,6 +110,11 @@ class EngineRun:
     datasets: dict[str, Dataset]
     report: RunReport
     results: Optional[StudyResults] = None
+    #: Shards served from a :class:`ShardCache` instead of executing.  Like
+    #: ``workers``, reuse is unobservable in the run's outputs — the report
+    #: and datasets are byte-identical either way — so this count lives on
+    #: the run object only, never in :meth:`RunReport.to_dict`.
+    cached_shards: int = 0
     #: Deterministic run trace, assembled in shard-index order
     #: (``spec.obs == "trace"`` only).
     trace: Optional[TraceLog] = None
@@ -171,6 +176,49 @@ def run_digest(spec: StudySpec, plans: Mapping[str, tuple[str, ...]]) -> str:
     )
 
 
+class ShardCache(Protocol):
+    """Anything that can remember a shard's JSON-able result by cache key.
+
+    The engine consults it before executing a shard and stores every result
+    it did execute; implementations decide retention (in-memory, on-disk,
+    shared between runs).  A ``get`` hit is trusted bit-for-bit — the key
+    (see :func:`shard_cache_key`) covers everything that shapes the shard's
+    output, so serving a hit is indistinguishable from re-execution.
+    """
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached shard result for ``key``, or ``None``."""
+        ...
+
+    def put(self, key: str, result: dict) -> None:
+        """Remember a freshly executed shard result under ``key``."""
+        ...
+
+
+def shard_cache_key(task: ShardTask) -> str:
+    """The cache identity of one shard's result.
+
+    Unlike :func:`run_digest` — which fingerprints the *whole* run — this
+    hashes only what the single shard's output depends on: the world config
+    (fault profile and seed included), the shard spec with its derived seed,
+    the shard's own plan slices, and the retry/validity policies.  Two runs
+    that disagree elsewhere (other shards' plans, analyses, journalling)
+    still share cache entries for the shards whose slice is unchanged —
+    that is what makes re-crawls incremental.  ``obs`` participates because
+    the stored payload differs by observability level.
+    """
+    return stable_digest(
+        "shard-cache-v1",
+        sorted(asdict(task.config).items()),
+        task.countries,
+        (task.spec.index, task.spec.count, task.spec.seed),
+        tuple((name, tuple(plan)) for name, plan in task.plans),
+        sorted(task.retry.to_dict().items()),
+        sorted(task.validity.to_dict().items()),
+        task.obs,
+    )
+
+
 def merge_shard_results(results_by_index: Mapping[int, dict]) -> dict[str, Dataset]:
     """Concatenate shard datasets in shard-index order.
 
@@ -227,6 +275,7 @@ def run_study(
     executor: Optional[Executor] = None,
     world: Optional[World] = None,
     analyses: bool = True,
+    shard_cache: Optional[ShardCache] = None,
 ) -> EngineRun:
     """Execute one study run end to end.
 
@@ -234,7 +283,10 @@ def run_study(
     avoid rebuilding; it must match ``spec.config``/``spec.countries``).
     ``analyses=False`` skips the analysis stage and leaves
     :attr:`EngineRun.results` as ``None`` — raw-dataset comparisons don't
-    need tables.
+    need tables.  ``shard_cache`` enables incremental execution: shards
+    whose :func:`shard_cache_key` is already cached are served bit-for-bit
+    from the cache and only the dirty remainder executes (the mechanism
+    behind ``repro serve`` re-crawls).
     """
     profile = ProfilingChannel(enabled=spec.obs != OBS_OFF)
     with profile.section("plan"):
@@ -307,13 +359,34 @@ def run_study(
         worker_count=resolve_workers(spec.workers),
         resumed_shards=len(completed),
     )
+    cache_keys: dict[int, str] = {}
+    cached_count = 0
+    if shard_cache is not None:
+        remaining = []
+        for task in tasks:
+            key = shard_cache_key(task)
+            hit = shard_cache.get(key)
+            if hit is None:
+                cache_keys[task.spec.index] = key
+                remaining.append(task)
+                continue
+            completed[task.spec.index] = hit
+            cached_count += 1
+            if journal is not None:
+                journal.append_shard(hit)
+        tasks = remaining
+        profile.note("cache.lookup", hits=cached_count, misses=len(tasks))
     pool = executor if executor is not None else make_executor(spec.workers)
     # Only a journal needs the JSON-able result form; everything else merges
-    # the shard's live datasets and skips the codec round-trip.
-    shard_fn = execute_shard if journal is not None else execute_shard_live
+    # the shard's live datasets and skips the codec round-trip.  A cache
+    # also stores the JSON-able form, so it forces the codec path too.
+    use_codec = journal is not None or shard_cache is not None
+    shard_fn = execute_shard if use_codec else execute_shard_live
     with profile.section("execute"):
         for result in pool.run(tasks, shard_fn):
             completed[result["index"]] = result
+            if shard_cache is not None:
+                shard_cache.put(cache_keys[result["index"]], result)
             if journal is not None:
                 journal.append_shard(result)
                 # Wall-clock, completion-order annotation: profiling channel
@@ -327,7 +400,8 @@ def run_study(
         datasets = merge_shard_results(completed)
 
     run = EngineRun(
-        spec=spec, digest=digest, plans=plans, datasets=datasets, report=report
+        spec=spec, digest=digest, plans=plans, datasets=datasets, report=report,
+        cached_shards=cached_count,
     )
     if spec.obs != OBS_OFF:
         run.profile = profile

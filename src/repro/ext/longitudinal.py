@@ -101,6 +101,44 @@ class LongitudinalStudy:
         self.waves.append(result)
         return result
 
+    def schedule_on(
+        self,
+        service,
+        *,
+        tenant: str = "longitudinal",
+        name: str = "nxdomain-wave",
+        count: int = 0,
+        max_probes: Optional[int] = None,
+        priority: int = 0,
+    ) -> None:
+        """Register this study's waves as recurring jobs on a serve Service.
+
+        Each fire runs one wave (:meth:`run_wave` drives the world clock and
+        churn itself) and reports the wave summary as the job payload.
+        ``count`` bounds the waves (``0`` = let the service horizon decide).
+        Waves mutate a shared world, so they ride the service's *callable*
+        path — scheduled and queued like engine studies, but never cached.
+        """
+        # Imported here so `repro.ext` stays importable without the service
+        # stack (and `repro.serve` never needs to know about extensions).
+        from repro.serve.schedule import Recurrence
+
+        def runner(_service, _submission) -> dict:
+            result = self.run_wave(max_probes=max_probes)
+            return {
+                "wave": result.wave,
+                "day": round(result.day, 4),
+                "nodes": result.nodes,
+                "hijacked": result.hijacked,
+                "ratio": round(result.ratio, 4),
+            }
+
+        service.schedule_callable(
+            tenant, name, runner,
+            Recurrence(interval=self.wave_interval, count=count),
+            priority=priority,
+        )
+
     def newly_hijacked_nodes(self, before: int, after: int) -> list[str]:
         """zIDs hijacked in wave ``after`` but clean in wave ``before``.
 

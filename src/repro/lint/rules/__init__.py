@@ -7,6 +7,7 @@ from repro.lint.rules.determinism import UnorderedIteration, UnseededRandom, Wal
 from repro.lint.rules.faultplan import FaultPlanOnly
 from repro.lint.rules.observability import SimulatedTimeOnly
 from repro.lint.rules.safety import BroadExcept, MutableDefaults
+from repro.lint.rules.service import DeterministicService
 from repro.lint.rules.simulation import FrozenRecords
 from repro.lint.rules.sterility import SterileImports
 
@@ -22,6 +23,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaults(),  # SAFE001
     BroadExcept(),      # SAFE002
     FrozenRecords(),    # SIM001
+    DeterministicService(),  # SRV001
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
@@ -35,6 +37,7 @@ def get_rule(rule_id: str) -> Rule:
 __all__ = [
     "ALL_RULES",
     "BroadExcept",
+    "DeterministicService",
     "FaultPlanOnly",
     "FrozenRecords",
     "MutableDefaults",

@@ -23,11 +23,13 @@ from repro.obs.exporters import (
     chrome_trace,
     chrome_trace_json,
     export_trace,
+    parse_prometheus_text,
     registry_from_trace,
     render_summary,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    SERVICE_BUCKETS,
     MetricsRegistry,
     registry_from_events,
 )
@@ -56,6 +58,7 @@ __all__ = [
     "OBS_OFF",
     "OBS_TRACE",
     "ProfilingChannel",
+    "SERVICE_BUCKETS",
     "TraceLog",
     "TraceRecorder",
     "canonical_line",
@@ -63,6 +66,7 @@ __all__ = [
     "chrome_trace_json",
     "export_trace",
     "freeze_attrs",
+    "parse_prometheus_text",
     "registry_from_events",
     "registry_from_trace",
     "render_summary",

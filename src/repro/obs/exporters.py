@@ -90,6 +90,69 @@ def export_trace(trace: TraceLog, format: str) -> str:
     raise ValueError(f"unknown trace export format: {format!r}")
 
 
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse (and thereby validate) a Prometheus text-format exposition.
+
+    The inverse of :meth:`MetricsRegistry.prometheus_text`, used by the
+    serve CI smoke and tests to assert a scrape actually parses: returns
+    ``{family_name: {"type": ..., "help": ..., "samples": {rendered_labels:
+    value}}}`` where histogram series land under their ``_bucket`` /
+    ``_sum`` / ``_count`` sample names.  Raises :class:`ValueError` on any
+    line that is not a comment, a ``# HELP``/``# TYPE`` annotation, or a
+    well-formed ``name{labels} value`` sample.
+    """
+    families: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        return families.setdefault(name, {"type": "", "help": "", "samples": {}})
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP: {line!r}")
+            family(parts[2])["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            family(parts[2])["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, rest = _split_sample(line, lineno)
+        try:
+            value = float(rest)
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad sample value: {line!r}") from None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if base not in families:
+            raise ValueError(f"line {lineno}: sample for undeclared family: {line!r}")
+        family(base)["samples"][f"{name}{labels}"] = value
+    return families
+
+
+def _split_sample(line: str, lineno: int) -> tuple[str, str, str]:
+    """``(name, rendered_labels, value_text)`` for one sample line."""
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        labels, closed, value = rest.rpartition("} ")
+        if not closed:
+            raise ValueError(f"line {lineno}: unterminated label set: {line!r}")
+        return name, "{" + labels + "}", value.strip()
+    name, _, value = line.partition(" ")
+    if not value:
+        raise ValueError(f"line {lineno}: sample without value: {line!r}")
+    return name, "", value.strip()
+
+
 def render_summary(summary: Mapping) -> str:
     """Human-readable form of :meth:`TraceLog.summarize`."""
     lines = [

@@ -24,6 +24,13 @@ from typing import Iterable, Mapping, Optional
 #: watch window (hours).  The overflow (+Inf) bucket is implicit.
 DEFAULT_BUCKETS = (0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0, 3600.0)
 
+#: Histogram boundaries for service-level latencies (``repro serve``), in
+#: simulated seconds.  Study latency — submission to completion, queueing
+#: included — spans minutes (an idle queue) to simulated weeks (a starved
+#: tenant behind heavy re-crawl traffic), a range DEFAULT_BUCKETS cannot
+#: resolve.  One minute up to one week; +Inf implicit.
+SERVICE_BUCKETS = (60.0, 600.0, 3_600.0, 21_600.0, 86_400.0, 259_200.0, 604_800.0)
+
 COUNTER = "counter"
 GAUGE = "gauge"
 HISTOGRAM = "histogram"

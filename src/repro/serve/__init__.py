@@ -1,0 +1,64 @@
+"""``repro.serve`` — the multi-tenant continuous-measurement service.
+
+A deployed violation monitor is not one study but a *queue* of them:
+tenants submit re-crawls on recurring schedules, and the service drains
+the queue through the ordinary sharded engine.  This package adds the
+daemon around the engine without touching its determinism contract:
+
+* :class:`StudyQueue` — fair multi-tenant queueing with priorities and
+  per-tenant quotas;
+* :class:`Recurrence` — cron-like recurring schedules on the simulated
+  clock, jittered by keyed hashes;
+* :class:`DiskShardCache` / :class:`MemoryShardCache` — digest-keyed shard
+  result caches making re-crawls incremental (and crash recovery free);
+* :class:`Service` — the loop: pump fires, pop fairly, execute, publish
+  metrics, journal;
+* :mod:`~repro.serve.specfile` — JSON queue specs for ``repro serve``.
+
+Every engine study the service completes is byte-identical to the same
+spec run standalone.  Nothing in this package may read the wall clock or
+ambient randomness (lint rule SRV001 enforces this).  See
+``docs/service.md``.
+"""
+
+from repro.serve.cache import DiskShardCache, MemoryShardCache
+from repro.serve.journal import SERVICE_JOURNAL_VERSION, ServiceJournal, ServiceJournalError
+from repro.serve.queue import (
+    QueueStats,
+    QuotaExceeded,
+    StudyQueue,
+    Submission,
+    TenantPolicy,
+)
+from repro.serve.schedule import Recurrence, jitter_fraction, parse_interval
+from repro.serve.service import (
+    CallableRequest,
+    CompletedStudy,
+    EngineStudyRequest,
+    Service,
+)
+from repro.serve.specfile import SpecfileError, build_service, load_specfile, study_spec
+
+__all__ = [
+    "CallableRequest",
+    "CompletedStudy",
+    "DiskShardCache",
+    "EngineStudyRequest",
+    "MemoryShardCache",
+    "QueueStats",
+    "QuotaExceeded",
+    "Recurrence",
+    "SERVICE_JOURNAL_VERSION",
+    "Service",
+    "ServiceJournal",
+    "ServiceJournalError",
+    "SpecfileError",
+    "StudyQueue",
+    "Submission",
+    "TenantPolicy",
+    "build_service",
+    "jitter_fraction",
+    "load_specfile",
+    "parse_interval",
+    "study_spec",
+]

@@ -1,0 +1,121 @@
+"""Digest-keyed incremental result caches for shard results.
+
+Both implementations satisfy the engine's
+:class:`~repro.engine.study.ShardCache` protocol: ``get`` a JSON-able shard
+result by its :func:`~repro.engine.study.shard_cache_key`, ``put`` freshly
+executed ones.  Because the key covers everything the shard's output
+depends on, a hit is bit-for-bit equivalent to re-execution — a verbatim
+study re-submission is served entirely from cache, and a study whose world
+config, fault seed, or plan slice changed misses exactly where it is dirty.
+
+:class:`DiskShardCache` doubles as the service's crash-recovery state:
+entries are written atomically (temp file + rename), so a process killed
+mid-queue leaves a valid cache and the re-run re-executes only what never
+completed.  No separate resume protocol is needed — re-running the same
+queue against the same cache directory *is* the resume, and it converges on
+byte-identical results because every replayed shard hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+
+class _CacheStats:
+    """Hit/miss/store counters shared by both cache kinds."""
+
+    __slots__ = ("hits", "misses", "stores")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never consulted)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class MemoryShardCache:
+    """In-process shard cache: a dict with hit-rate accounting."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict] = {}
+        self.stats = _CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result, counting the lookup as hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, result: dict) -> None:
+        """Remember one shard result."""
+        self._entries[key] = result
+        self.stats.stores += 1
+
+
+class DiskShardCache:
+    """Persistent shard cache: one canonical-JSON file per key.
+
+    Writes are atomic — serialized to ``<key>.json.tmp`` then renamed — so
+    a crash mid-``put`` can never leave a half-entry a later run would
+    trust.  A file that fails to parse (torn by an unclean filesystem, or
+    hand-edited) is treated as a miss and deleted, because a corrupt cache
+    entry must never be worth more than re-executing the shard.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = _CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result, counting the lookup as hit or miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            # Torn or unreadable entry: drop it and re-execute the shard.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, result: dict) -> None:
+        """Persist one shard result atomically."""
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(result, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        self.stats.stores += 1

@@ -1,0 +1,86 @@
+"""Append-only JSONL audit journal of the service's completed studies.
+
+Unlike the engine's checkpoint journal — which *is* resume state — this
+journal is a ledger: one ``serve-manifest`` line per service run, one
+``study`` line per completed study (digest, dataset SHA, simulated
+submit/complete times, cache reuse).  Crash recovery never reads it; the
+:class:`~repro.serve.cache.DiskShardCache` alone makes a re-run
+incremental.  The journal exists so an operator can audit what a
+long-running service measured, when (in simulated time), and whether two
+runs of the same queue agreed — the lines are canonical JSON, so equal
+histories are byte-equal.
+
+A torn final line (the process died mid-append) is dropped on load, same
+policy as the engine journal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+#: Bump when the journal's on-disk shape changes incompatibly.
+SERVICE_JOURNAL_VERSION = 1
+
+
+class ServiceJournalError(RuntimeError):
+    """The service journal could not be read or written."""
+
+
+class ServiceJournal:
+    """Append-only JSONL ledger at a filesystem path."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether anything was ever journalled at this path."""
+        return self.path.exists()
+
+    def begin_run(self, manifest: dict) -> None:
+        """Append one ``serve-manifest`` line marking a new service run."""
+        record = {"kind": "serve-manifest", "version": SERVICE_JOURNAL_VERSION}
+        record.update(manifest)
+        self._append(record)
+
+    def append_study(self, record: dict) -> None:
+        """Append one completed study's ledger line."""
+        if "sid" not in record:
+            raise ServiceJournalError(f"not a study record: {sorted(record)!r}")
+        payload = {"kind": "study"}
+        payload.update(record)
+        self._append(payload)
+
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def load(self) -> list[dict]:
+        """Every journalled record, in append order.
+
+        A torn final line is dropped; malformed content anywhere else
+        raises :class:`ServiceJournalError`.
+        """
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        records: list[dict] = []
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    break  # torn final line: the append never completed
+                raise ServiceJournalError(
+                    f"{self.path}:{lineno + 1}: corrupt journal line"
+                ) from None
+        return records
+
+    def studies(self) -> list[dict]:
+        """Just the ``study`` lines, in append order."""
+        return [record for record in self.load() if record.get("kind") == "study"]

@@ -1,0 +1,495 @@
+"""The continuous-measurement service: queue in, byte-identical studies out.
+
+:class:`Service` is the daemon loop behind ``repro serve``.  It owns a
+simulated clock, a multi-tenant :class:`~repro.serve.queue.StudyQueue`, a
+schedule heap of recurring re-crawls, and a digest-keyed shard cache, and it
+drains the queue through the ordinary engine executors.  Three invariants
+make it a *deterministic* daemon rather than a mere job runner:
+
+* **Studies are pure.**  Every engine study the service completes is
+  byte-identical — datasets, run digest, run metrics — to the same
+  :class:`~repro.engine.StudySpec` run standalone via ``repro study``.  The
+  service adds scheduling around the engine, never inside it.
+* **Time is simulated.**  Fires, queue waits, and study latencies all live
+  on the service's :class:`~repro.net.clock.SimClock`; executing a study
+  advances the clock by the study's own simulated duration.  Jitter comes
+  from keyed hashes.  Nothing in this package may read the wall clock
+  (enforced by lint rule SRV001).
+* **Re-crawls are incremental.**  Shard results are cached under
+  :func:`~repro.engine.study.shard_cache_key`; a verbatim re-submission is
+  served 100% from cache with identical merged output, and after a crash,
+  re-running the same queue against the same cache directory re-executes
+  only the shards that never completed.
+
+Service health — queue depth, per-tenant throughput, cache hit rate, study
+latency — is published through a :class:`~repro.obs.MetricsRegistry` and
+the existing Prometheus text exporter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Union
+
+from repro.engine.executor import Executor, make_executor
+from repro.engine.sharding import stable_digest
+from repro.engine.study import EngineRun, StudySpec, run_study
+from repro.net.clock import SimClock
+from repro.obs import NULL_RECORDER, SERVICE_BUCKETS, MetricsRegistry, TraceRecorder
+from repro.serve.cache import DiskShardCache, MemoryShardCache
+from repro.serve.journal import ServiceJournal
+from repro.serve.queue import QuotaExceeded, StudyQueue, Submission, TenantPolicy
+from repro.serve.schedule import Recurrence
+from repro.sim import World, build_world
+
+
+@dataclass(frozen=True, slots=True)
+class EngineStudyRequest:
+    """A request to run one engine study (the cacheable, digestable kind)."""
+
+    spec: StudySpec
+
+
+@dataclass(frozen=True)
+class CallableRequest:
+    """A custom job: the service schedules it, the callable does the work.
+
+    ``runner(service, submission)`` returns an optional JSON-able summary.
+    Callable jobs share the queue, fairness, and scheduler with engine
+    studies but bypass the shard cache — they have no digest to key on.
+    ``sim_duration`` is the simulated seconds the service clock advances
+    when the job completes (callables typically drive their own world's
+    clock; this charges the *service* timeline).
+    """
+
+    runner: Callable[["Service", Submission], Optional[Mapping]]
+    sim_duration: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedStudy:
+    """One study's ledger entry: identity, timing, and result fingerprints."""
+
+    sid: int
+    tenant: str
+    name: str
+    occurrence: int
+    #: Simulated instants: when the submission fired, started, finished.
+    submitted_at: float
+    started_at: float
+    completed_at: float
+    #: Engine studies only; ``None`` for callable jobs.
+    digest: Optional[str] = None
+    #: SHA-256 of the run's canonical dataset summary (engine studies only).
+    summary_sha: Optional[str] = None
+    shard_count: int = 0
+    cached_shards: int = 0
+    #: The callable job's returned summary, if any.
+    payload: Optional[dict] = None
+
+    @property
+    def latency(self) -> float:
+        """Submission-to-completion, in simulated seconds (queueing included)."""
+        return self.completed_at - self.submitted_at
+
+    @property
+    def sim_duration(self) -> float:
+        """Execution time alone, in simulated seconds."""
+        return self.completed_at - self.started_at
+
+    def to_dict(self) -> dict:
+        """JSON-able ledger form (journal line payload)."""
+        record = {
+            "sid": self.sid,
+            "tenant": self.tenant,
+            "name": self.name,
+            "occurrence": self.occurrence,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "digest": self.digest,
+            "summary_sha": self.summary_sha,
+            "shard_count": self.shard_count,
+            "cached_shards": self.cached_shards,
+        }
+        if self.payload is not None:
+            record["payload"] = self.payload
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class _Registration:
+    """One recurring study registered with the scheduler."""
+
+    key: int
+    tenant: str
+    name: str
+    priority: int
+    request: object
+    recurrence: Recurrence
+
+
+class Service:
+    """A long-running, multi-tenant measurement service on simulated time.
+
+    ``state_dir`` turns on persistence: shard results cache to
+    ``<state_dir>/shard-cache/`` and completed studies append to
+    ``<state_dir>/service.jsonl``.  Re-running the same queue with the same
+    state dir after a crash is the resume path — completed shards hit the
+    cache, so the re-run converges on byte-identical results while only the
+    unfinished work executes.
+
+    ``workers`` sizes the service's own executor (shared by every study it
+    drains); a submission's ``spec.workers`` is ignored here, exactly as
+    worker count is everywhere unobservable in results.
+    """
+
+    #: Coordinator worlds kept alive for plan computation, newest-first
+    #: eviction.  Tenants sharing a world config share the coordinator —
+    #: one build amortizes across every study on that config.
+    MAX_WORLDS = 4
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        workers: int = 1,
+        queue: Optional[StudyQueue] = None,
+        cache: Optional[object] = None,
+        state_dir: Optional[Union[str, Path]] = None,
+        obs: bool = False,
+        keep_runs: bool = False,
+    ) -> None:
+        self.seed = seed
+        self.clock = SimClock()
+        self.queue = queue if queue is not None else StudyQueue()
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if cache is None:
+            cache = (
+                DiskShardCache(self.state_dir / "shard-cache")
+                if self.state_dir is not None
+                else MemoryShardCache()
+            )
+        self.cache = cache
+        self.journal = (
+            ServiceJournal(self.state_dir / "service.jsonl")
+            if self.state_dir is not None
+            else None
+        )
+        self.metrics = MetricsRegistry()
+        self.recorder = TraceRecorder(self.clock) if obs else NULL_RECORDER
+        self.workers = workers
+        self.keep_runs = keep_runs
+        self.completed: list[CompletedStudy] = []
+        self.runs: dict[int, EngineRun] = {}
+        self._executor: Executor = make_executor(workers)
+        self._registrations: list[_Registration] = []
+        #: Min-heap of pending fires: ``(fire_time, registration_key, occurrence)``.
+        self._fires: list[tuple[float, int, int]] = []
+        self._worlds: dict[str, World] = {}
+        self._world_order: list[str] = []
+        self._journal_open = False
+
+    # -- tenants and submissions --------------------------------------------
+
+    def register_tenant(self, tenant: str, policy: TenantPolicy) -> None:
+        """Set one tenant's quota/weight policy."""
+        self.queue.set_policy(tenant, policy)
+
+    def submit(
+        self, tenant: str, name: str, spec: StudySpec, *, priority: int = 0
+    ) -> Submission:
+        """Queue one engine study now; raises :class:`QuotaExceeded` over quota."""
+        submission = self.queue.submit(
+            tenant, name, EngineStudyRequest(spec),
+            at=self.clock.now, priority=priority,
+        )
+        self._count_submission(tenant)
+        return submission
+
+    def submit_callable(
+        self,
+        tenant: str,
+        name: str,
+        runner: Callable[["Service", Submission], Optional[Mapping]],
+        *,
+        priority: int = 0,
+        sim_duration: float = 0.0,
+    ) -> Submission:
+        """Queue one callable job now."""
+        submission = self.queue.submit(
+            tenant, name, CallableRequest(runner, sim_duration),
+            at=self.clock.now, priority=priority,
+        )
+        self._count_submission(tenant)
+        return submission
+
+    # -- recurring schedules ------------------------------------------------
+
+    def schedule(
+        self,
+        tenant: str,
+        name: str,
+        spec: StudySpec,
+        recurrence: Recurrence,
+        *,
+        priority: int = 0,
+    ) -> None:
+        """Register a recurring engine re-crawl."""
+        self._register(tenant, name, EngineStudyRequest(spec), recurrence, priority)
+
+    def schedule_callable(
+        self,
+        tenant: str,
+        name: str,
+        runner: Callable[["Service", Submission], Optional[Mapping]],
+        recurrence: Recurrence,
+        *,
+        priority: int = 0,
+        sim_duration: float = 0.0,
+    ) -> None:
+        """Register a recurring callable job."""
+        self._register(
+            tenant, name, CallableRequest(runner, sim_duration), recurrence, priority
+        )
+
+    def _register(
+        self,
+        tenant: str,
+        name: str,
+        request: object,
+        recurrence: Recurrence,
+        priority: int,
+    ) -> None:
+        registration = _Registration(
+            key=len(self._registrations),
+            tenant=tenant,
+            name=name,
+            priority=priority,
+            request=request,
+            recurrence=recurrence,
+        )
+        self._registrations.append(registration)
+        self._push_fire(registration, 0)
+
+    def _push_fire(self, registration: _Registration, occurrence: int) -> None:
+        recurrence = registration.recurrence
+        if recurrence.count and occurrence >= recurrence.count:
+            return
+        when = recurrence.fire_time(
+            occurrence, seed=self.seed, key=(registration.tenant, registration.name)
+        )
+        heapq.heappush(self._fires, (when, registration.key, occurrence))
+
+    def _pump(self, horizon: float) -> None:
+        """Turn every fire due by now (and within the horizon) into a submission."""
+        while (
+            self._fires
+            and self._fires[0][0] <= self.clock.now
+            and self._fires[0][0] <= horizon
+        ):
+            when, key, occurrence = heapq.heappop(self._fires)
+            registration = self._registrations[key]
+            self._push_fire(registration, occurrence + 1)
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "serve.fire", actor=registration.tenant,
+                    detail=registration.name, attrs={"occurrence": occurrence},
+                )
+            try:
+                self.queue.submit(
+                    registration.tenant, registration.name, registration.request,
+                    at=when, priority=registration.priority, occurrence=occurrence,
+                )
+            except QuotaExceeded:
+                # The queue counted the rejection; surface it in metrics and
+                # move on — a saturated tenant sheds load, never stalls the
+                # service.
+                self.metrics.counter(
+                    "serve_rejected_total", 1,
+                    help="scheduler fires dropped by tenant quota",
+                    tenant=registration.tenant,
+                )
+                continue
+            self._count_submission(registration.tenant)
+
+    def _count_submission(self, tenant: str) -> None:
+        self.metrics.counter(
+            "serve_submitted_total", 1,
+            help="studies entering the queue, by tenant",
+            tenant=tenant,
+        )
+
+    # -- the daemon loop ----------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_studies: Optional[int] = None,
+    ) -> list[CompletedStudy]:
+        """Drain the queue (and every scheduled fire) up to simulated ``until``.
+
+        With ``until`` omitted the service processes only what is already
+        due at the current clock reading.  ``max_studies`` stops early after
+        that many completions — the knob crash tests use to kill a run
+        mid-queue.  Returns the studies completed by *this* call; the
+        lifetime ledger is :attr:`completed`.
+        """
+        horizon = until if until is not None else self.clock.now
+        self._open_journal()
+        completed_now: list[CompletedStudy] = []
+        while True:
+            self._pump(horizon)
+            submission = self.queue.pop()
+            if submission is None:
+                if self._fires and self._fires[0][0] <= horizon:
+                    # Idle until the next scheduled fire.
+                    self.clock.advance_to(self._fires[0][0])
+                    continue
+                break
+            completed_now.append(self._execute(submission))
+            if max_studies is not None and len(completed_now) >= max_studies:
+                break
+        self.metrics.gauge(
+            "serve_queue_depth", self.queue.depth(),
+            help="submissions waiting in the study queue",
+        )
+        return completed_now
+
+    def _open_journal(self) -> None:
+        if self.journal is None or self._journal_open:
+            return
+        self.journal.begin_run(
+            {"seed": self.seed, "sim_now": self.clock.now, "workers": self.workers}
+        )
+        self._journal_open = True
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self, submission: Submission) -> CompletedStudy:
+        started = self.clock.now
+        request = submission.request
+        with self.recorder.span(
+            "serve.study", actor=submission.tenant, detail=submission.name,
+            attrs={"sid": submission.sid, "occurrence": submission.occurrence},
+        ):
+            if isinstance(request, EngineStudyRequest):
+                study = self._execute_engine(submission, request.spec, started)
+            elif isinstance(request, CallableRequest):
+                study = self._execute_callable(submission, request, started)
+            else:
+                raise TypeError(f"unknown request type: {type(request).__name__}")
+        self.completed.append(study)
+        self.metrics.counter(
+            "serve_studies_total", 1,
+            help="studies completed, by tenant", tenant=study.tenant,
+        )
+        self.metrics.histogram(
+            "serve_study_latency_seconds", study.latency,
+            help="submission-to-completion latency in simulated seconds",
+            buckets=SERVICE_BUCKETS, tenant=study.tenant,
+        )
+        self.metrics.gauge(
+            "serve_queue_depth", self.queue.depth(),
+            help="submissions waiting in the study queue",
+        )
+        self.metrics.gauge(
+            "serve_sim_seconds", self.clock.now,
+            help="the service's simulated clock reading",
+        )
+        if self.journal is not None:
+            self.journal.append_study(study.to_dict())
+        return study
+
+    def _execute_engine(
+        self, submission: Submission, spec: StudySpec, started: float
+    ) -> CompletedStudy:
+        world = self._coordinator(spec)
+        run = run_study(
+            spec,
+            executor=self._executor,
+            world=world,
+            analyses=False,
+            shard_cache=self.cache,
+        )
+        # Shards execute concurrently, so the study occupies the service
+        # timeline for as long as its slowest shard ran in simulated time.
+        self.clock.advance(
+            max((metrics.sim_seconds for metrics in run.report.shards), default=0.0)
+        )
+        summary_sha = hashlib.sha256(run.dataset_summary().encode("utf-8")).hexdigest()
+        executed = run.report.completed_shards - run.cached_shards
+        self.metrics.counter(
+            "serve_shard_cache_total", run.cached_shards,
+            help="shard executions avoided (hit) or performed (miss)",
+            result="hit",
+        )
+        self.metrics.counter(
+            "serve_shard_cache_total", executed,
+            help="shard executions avoided (hit) or performed (miss)",
+            result="miss",
+        )
+        if self.keep_runs:
+            self.runs[submission.sid] = run
+        return CompletedStudy(
+            sid=submission.sid,
+            tenant=submission.tenant,
+            name=submission.name,
+            occurrence=submission.occurrence,
+            submitted_at=submission.submitted_at,
+            started_at=started,
+            completed_at=self.clock.now,
+            digest=run.digest,
+            summary_sha=summary_sha,
+            shard_count=run.report.completed_shards,
+            cached_shards=run.cached_shards,
+        )
+
+    def _execute_callable(
+        self, submission: Submission, request: CallableRequest, started: float
+    ) -> CompletedStudy:
+        payload = request.runner(self, submission)
+        self.clock.advance(request.sim_duration)
+        return CompletedStudy(
+            sid=submission.sid,
+            tenant=submission.tenant,
+            name=submission.name,
+            occurrence=submission.occurrence,
+            submitted_at=submission.submitted_at,
+            started_at=started,
+            completed_at=self.clock.now,
+            payload=dict(payload) if payload is not None else None,
+        )
+
+    def _coordinator(self, spec: StudySpec) -> World:
+        """The (cached) coordinator world for a spec's config."""
+        key = stable_digest(
+            "coordinator", sorted(asdict(spec.config).items()), spec.countries
+        )
+        world = self._worlds.get(key)
+        if world is None:
+            if len(self._world_order) >= self.MAX_WORLDS:
+                evicted = self._world_order.pop(0)
+                del self._worlds[evicted]
+            world = build_world(spec.config, spec.countries)
+            self._worlds[key] = world
+            self._world_order.append(key)
+        return world
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of shard lookups served from cache (0.0 if untracked)."""
+        stats = getattr(self.cache, "stats", None)
+        if stats is None:
+            return 0.0
+        return stats.hit_rate
+
+    def prometheus_text(self) -> str:
+        """The service metrics as a Prometheus text exposition."""
+        return self.metrics.prometheus_text()

@@ -1,0 +1,138 @@
+"""Queue spec files: the declarative input to ``repro serve``.
+
+A queue spec is a JSON document describing everything a service run needs —
+seed, horizon, tenant policies, and the studies each tenant submits or
+schedules::
+
+    {
+      "seed": 5,
+      "horizon": "3d",
+      "tenants": {
+        "acme":  {"max_queued": 8, "weight": 2.0},
+        "umich": {"max_queued": 4}
+      },
+      "studies": [
+        {
+          "tenant": "acme",
+          "name": "daily-sweep",
+          "priority": 0,
+          "world": {"scale": 0.002, "seed": 11, "fault_profile": "mild"},
+          "study_seed": 9,
+          "shards": 4,
+          "schedule": {"interval": "@daily", "count": 3, "jitter": 0.1}
+        },
+        {
+          "tenant": "umich",
+          "name": "one-off",
+          "world": {"scale": 0.002, "seed": 11}
+        }
+      ]
+    }
+
+``world`` maps straight onto :class:`~repro.sim.WorldConfig` fields;
+``schedule`` onto :meth:`~repro.serve.schedule.Recurrence.from_dict`
+(intervals accept the ``"1d"`` / ``"@daily"`` shorthand); omitting
+``schedule`` submits the study immediately, once.  Because the spec file
+fully determines the queue and the service is deterministic, a spec file
+*is* a reproducible service run — same file, same bytes out.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.engine.study import StudySpec
+from repro.serve.queue import TenantPolicy
+from repro.serve.schedule import Recurrence, parse_interval
+from repro.serve.service import Service
+from repro.sim import WorldConfig
+
+#: Per-study keys the spec file maps onto :class:`StudySpec` fields.
+_STUDY_KEYS = {
+    "study_seed": "seed",
+    "shards": "shards",
+    "window": "window",
+    "stop_threshold": "stop_threshold",
+    "max_probes": "max_probes",
+    "obs": "obs",
+}
+
+_WORLD_FIELDS = {field.name for field in fields(WorldConfig)}
+
+
+class SpecfileError(ValueError):
+    """The queue spec file is malformed."""
+
+
+def load_specfile(path: Union[str, Path]) -> dict:
+    """Read and structurally validate a queue spec file."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecfileError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise SpecfileError(f"{path}: top level must be an object")
+    unknown = sorted(set(payload) - {"seed", "horizon", "tenants", "studies"})
+    if unknown:
+        raise SpecfileError(f"{path}: unknown top-level keys: {unknown}")
+    return payload
+
+
+def study_spec(entry: dict) -> StudySpec:
+    """The :class:`StudySpec` for one ``studies`` entry."""
+    world = entry.get("world", {})
+    unknown = sorted(set(world) - _WORLD_FIELDS)
+    if unknown:
+        raise SpecfileError(f"study {entry.get('name')!r}: unknown world keys: {unknown}")
+    kwargs: dict = {"config": WorldConfig(**world)}
+    for key, field in sorted(_STUDY_KEYS.items()):
+        if key in entry:
+            kwargs[field] = entry[key]
+    return StudySpec(**kwargs)
+
+
+def build_service(
+    payload: dict,
+    *,
+    workers: int = 1,
+    state_dir: Optional[Union[str, Path]] = None,
+    obs: bool = False,
+) -> tuple[Service, float]:
+    """A ready-to-run :class:`Service` (plus its horizon) from a queue spec.
+
+    Tenant policies are registered, scheduled studies get their recurrences,
+    and unscheduled studies are submitted immediately.  Returns
+    ``(service, horizon_seconds)`` — call ``service.run(until=horizon)``.
+    """
+    seed = int(payload.get("seed", 0))
+    horizon = parse_interval(payload.get("horizon", 0.0))
+    service = Service(seed=seed, workers=workers, state_dir=state_dir, obs=obs)
+    tenants = payload.get("tenants", {})
+    for tenant in sorted(tenants):
+        policy = tenants[tenant]
+        service.register_tenant(
+            tenant,
+            TenantPolicy(
+                max_queued=int(policy.get("max_queued", 8)),
+                weight=float(policy.get("weight", 1.0)),
+            ),
+        )
+    for entry in payload.get("studies", []):
+        for key in ("tenant", "name"):
+            if key not in entry:
+                raise SpecfileError(f"study entry missing {key!r}: {sorted(entry)}")
+        spec = study_spec(entry)
+        priority = int(entry.get("priority", 0))
+        schedule = entry.get("schedule")
+        if schedule is None:
+            service.submit(entry["tenant"], entry["name"], spec, priority=priority)
+        else:
+            service.schedule(
+                entry["tenant"], entry["name"], spec,
+                Recurrence.from_dict(schedule), priority=priority,
+            )
+    return service, horizon

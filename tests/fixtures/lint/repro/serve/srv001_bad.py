@@ -1,0 +1,18 @@
+"""SRV001 bad fixture: wall clock and ambient randomness in the service plane.
+
+Lives under a ``repro/serve/`` directory because the rule is scoped to the
+service package; identical code elsewhere is DET001/DET002's business.
+(It trips those here too — the SRV001 tests run with ``select=("SRV001",)``.)
+"""
+
+import random
+import time
+from datetime import datetime
+
+
+def next_fire() -> float:
+    return time.time() + random.uniform(0.0, 60.0)
+
+
+def submitted_stamp() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,21 @@
+"""SRV001 good fixture: simulated clock in, keyed-hash jitter out."""
+
+
+def jitter_fraction(seed: int, key: str, occurrence: int) -> float:
+    """Stand-in for the real keyed hash — pure function of its inputs."""
+    return ((seed * 31 + len(key)) * 31 + occurrence) % 997 / 997.0
+
+
+class Scheduler:
+    """Fire times read ``clock.now`` and jitter by keyed hash — no host state."""
+
+    def __init__(self, clock, seed: int) -> None:
+        self._clock = clock
+        self._seed = seed
+
+    def fire_time(self, key: str, occurrence: int, interval: float) -> float:
+        base = occurrence * interval
+        return base + interval * jitter_fraction(self._seed, key, occurrence)
+
+    def due(self, when: float) -> bool:
+        return when <= self._clock.now

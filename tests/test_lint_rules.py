@@ -169,3 +169,46 @@ class TestObservabilityRule:
         source = self.BAD.read_text(encoding="utf-8")
         findings = self.engine().lint_source(source, "repro/engine/elsewhere.py")
         assert findings == []
+
+
+class TestServiceRule:
+    """SRV001 is path-scoped to ``repro/serve/`` and bans both wall-clock
+    access *and* ambient randomness (the jitter-stream trap).
+
+    Its bad fixture also trips DET001/DET002 (by design — the rules overlap
+    inside the service plane), so these tests select SRV001 alone.
+    """
+
+    BAD = FIXTURES / "repro" / "serve" / "srv001_bad.py"
+    GOOD = FIXTURES / "repro" / "serve" / "srv001_good.py"
+
+    @staticmethod
+    def engine() -> LintEngine:
+        return LintEngine(LintConfig(select=("SRV001",)))
+
+    def test_bad_fixture_fires(self):
+        findings = self.engine().lint_file(self.BAD, FIXTURES)
+        assert findings, "SRV001 bad fixture produced no findings"
+        assert {f.rule for f in findings} == {"SRV001"}
+        assert {f.symbol for f in findings} == {
+            "random", "time", "datetime", "time.time", "datetime.now",
+        }
+        assert all(f.path == "repro/serve/srv001_bad.py" for f in findings)
+
+    def test_good_fixture_is_silent(self):
+        findings = self.engine().lint_file(self.GOOD, FIXTURES)
+        assert findings == [], f"srv001_good.py should be clean: {findings}"
+
+    def test_rule_is_scoped_to_serve_package(self):
+        source = self.BAD.read_text(encoding="utf-8")
+        findings = self.engine().lint_source(source, "repro/engine/elsewhere.py")
+        assert findings == []
+
+    def test_shipped_serve_package_is_clean(self):
+        import repro.serve as serve_pkg
+
+        package_dir = pathlib.Path(serve_pkg.__file__).resolve().parent
+        engine = self.engine()
+        for module in sorted(package_dir.glob("*.py")):
+            findings = engine.lint_file(module, package_dir.parent.parent)
+            assert findings == [], f"{module.name}: {findings}"

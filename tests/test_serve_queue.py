@@ -1,0 +1,223 @@
+"""The service's queueing discipline, schedules, and audit journal.
+
+The queue's promise: which submission runs next is a pure function of the
+queue's history.  The schedule's promise: fire times are pure functions of
+``(schedule, occurrence, seed, key)``.  Both are tested as plain data —
+no worlds, no engine.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import (
+    QuotaExceeded,
+    Recurrence,
+    ServiceJournal,
+    ServiceJournalError,
+    StudyQueue,
+    TenantPolicy,
+    jitter_fraction,
+    parse_interval,
+)
+
+DAY = 86_400.0
+
+
+class TestParseInterval:
+    def test_plain_numbers_pass_through(self):
+        assert parse_interval(45) == 45.0
+        assert parse_interval(0.5) == 0.5
+        assert parse_interval("90") == 90.0
+
+    def test_unit_suffixes(self):
+        assert parse_interval("45s") == 45.0
+        assert parse_interval("90m") == 5_400.0
+        assert parse_interval("6h") == 21_600.0
+        assert parse_interval("1d") == DAY
+        assert parse_interval("2w") == 2 * 604_800.0
+
+    def test_presets(self):
+        assert parse_interval("@minutely") == 60.0
+        assert parse_interval("@hourly") == 3_600.0
+        assert parse_interval("@daily") == DAY
+        assert parse_interval("@weekly") == 604_800.0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_interval("soon")
+        with pytest.raises(ValueError):
+            parse_interval("xd")
+
+
+class TestRecurrence:
+    def test_unjittered_fire_times_are_the_grid(self):
+        rec = Recurrence(interval=DAY, start=100.0)
+        assert rec.fire_time(0) == 100.0
+        assert rec.fire_time(3) == 100.0 + 3 * DAY
+
+    def test_jitter_shifts_late_within_bound(self):
+        rec = Recurrence(interval=DAY, jitter=0.25)
+        for occurrence in range(5):
+            base = occurrence * DAY
+            when = rec.fire_time(occurrence, seed=7, key="acme/daily")
+            assert base <= when < base + 0.25 * DAY
+
+    def test_jitter_is_deterministic_and_keyed(self):
+        rec = Recurrence(interval=DAY, jitter=0.5)
+        a = rec.fire_time(1, seed=7, key="acme/daily")
+        b = rec.fire_time(1, seed=7, key="acme/daily")
+        assert a == b
+        assert a != rec.fire_time(1, seed=7, key="umich/daily")
+        assert a != rec.fire_time(1, seed=8, key="acme/daily")
+
+    def test_jitter_is_position_independent(self):
+        # The fraction for occurrence 3 does not depend on having computed
+        # occurrences 0-2 first — same property as the fault plane's hashes.
+        rec = Recurrence(interval=DAY, jitter=0.5)
+        direct = rec.fire_time(3, seed=7, key="k")
+        for occurrence in range(3):
+            rec.fire_time(occurrence, seed=7, key="k")
+        assert rec.fire_time(3, seed=7, key="k") == direct
+
+    def test_jitter_fraction_range(self):
+        fractions = [jitter_fraction(5, "k", n) for n in range(50)]
+        assert all(0.0 <= f < 1.0 for f in fractions)
+        assert len(set(fractions)) > 40  # actually spreads
+
+    def test_once(self):
+        rec = Recurrence.once(at=500.0)
+        assert rec.count == 1
+        assert rec.fire_time(0) == 500.0
+        assert list(rec.occurrences(horizon=1e9)) == [(0, 500.0)]
+
+    def test_occurrences_respects_horizon_and_count(self):
+        rec = Recurrence(interval=100.0, count=5)
+        assert [when for _, when in rec.occurrences(250.0)] == [0.0, 100.0, 200.0]
+        assert len(list(rec.occurrences(1e9))) == 5
+
+    def test_from_dict(self):
+        rec = Recurrence.from_dict({"interval": "@daily", "count": 3, "jitter": 0.1})
+        assert rec.interval == DAY
+        assert rec.count == 3
+        assert rec.jitter == 0.1
+        once = Recurrence.from_dict({"at": "12h"})
+        assert once.count == 1
+        assert once.fire_time(0) == 43_200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Recurrence(interval=0.0)
+        with pytest.raises(ValueError):
+            Recurrence(interval=1.0, jitter=1.5)
+        with pytest.raises(ValueError):
+            Recurrence(interval=1.0, count=-1)
+
+
+class TestStudyQueue:
+    def test_fifo_within_one_tenant(self):
+        queue = StudyQueue()
+        queue.submit("a", "first", object(), at=0.0)
+        queue.submit("a", "second", object(), at=1.0)
+        assert queue.pop().name == "first"
+        assert queue.pop().name == "second"
+        assert queue.pop() is None
+
+    def test_priority_preempts_fifo(self):
+        queue = StudyQueue()
+        queue.submit("a", "batch", object(), at=0.0, priority=0)
+        queue.submit("a", "smoke", object(), at=1.0, priority=10)
+        assert queue.pop().name == "smoke"
+
+    def test_weighted_fairness(self):
+        queue = StudyQueue(
+            {"heavy": TenantPolicy(weight=2.0), "light": TenantPolicy(weight=1.0)}
+        )
+        for index in range(6):
+            queue.submit("heavy", f"h{index}", object(), at=0.0)
+        for index in range(6):
+            queue.submit("light", f"l{index}", object(), at=0.0)
+        first_six = [queue.pop().tenant for _ in range(6)]
+        # Weight 2 sustains twice the throughput of weight 1 under load.
+        assert first_six.count("heavy") == 4
+        assert first_six.count("light") == 2
+
+    def test_fairness_is_history_deterministic(self):
+        def drain() -> list[str]:
+            queue = StudyQueue(
+                {"a": TenantPolicy(weight=1.5), "b": TenantPolicy(weight=1.0)}
+            )
+            for index in range(5):
+                queue.submit("a", f"a{index}", object(), at=0.0)
+                queue.submit("b", f"b{index}", object(), at=0.0)
+            return [queue.pop().name for _ in range(10)]
+
+        assert drain() == drain()
+
+    def test_quota_rejects_and_counts(self):
+        queue = StudyQueue({"a": TenantPolicy(max_queued=2)})
+        queue.submit("a", "one", object(), at=0.0)
+        queue.submit("a", "two", object(), at=0.0)
+        with pytest.raises(QuotaExceeded):
+            queue.submit("a", "three", object(), at=0.0)
+        assert queue.stats.rejected == {"a": 1}
+        queue.pop()
+        queue.submit("a", "three", object(), at=1.0)  # backlog drained
+        assert queue.depth("a") == 2
+
+    def test_depth_by_tenant(self):
+        queue = StudyQueue()
+        queue.submit("a", "x", object(), at=0.0)
+        queue.submit("b", "y", object(), at=0.0)
+        assert queue.depth() == 2
+        assert queue.depth("a") == 1
+        assert queue.depth("missing") == 0
+
+
+class TestServiceJournal:
+    def test_roundtrip(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "svc.jsonl")
+        journal.begin_run({"seed": 5})
+        journal.append_study({"sid": 0, "tenant": "a", "digest": "abc"})
+        journal.append_study({"sid": 1, "tenant": "b", "digest": "def"})
+        records = journal.load()
+        assert records[0]["kind"] == "serve-manifest"
+        assert records[0]["seed"] == 5
+        assert [r["sid"] for r in journal.studies()] == [0, 1]
+
+    def test_equal_histories_are_byte_equal(self, tmp_path):
+        paths = []
+        for name in ("one.jsonl", "two.jsonl"):
+            journal = ServiceJournal(tmp_path / name)
+            journal.begin_run({"seed": 5})
+            journal.append_study({"sid": 0, "tenant": "a", "digest": "abc"})
+            paths.append(tmp_path / name)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "svc.jsonl"
+        journal = ServiceJournal(path)
+        journal.append_study({"sid": 0})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "study", "sid"')  # killed mid-append
+        assert [r["sid"] for r in journal.studies()] == [0]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "svc.jsonl"
+        path.write_text('not json\n{"kind": "study", "sid": 0}\n', encoding="utf-8")
+        with pytest.raises(ServiceJournalError):
+            ServiceJournal(path).load()
+
+    def test_study_record_requires_sid(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "svc.jsonl")
+        with pytest.raises(ServiceJournalError):
+            journal.append_study({"tenant": "a"})
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        path = tmp_path / "svc.jsonl"
+        journal = ServiceJournal(path)
+        journal.append_study({"sid": 0, "z": 1, "a": 2})
+        line = path.read_text(encoding="utf-8").strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)
