@@ -345,12 +345,91 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_dlq(args: argparse.Namespace) -> int:
+    from repro.resilience import DeadLetterQueue, DLQError
+
+    if not args.state_dir:
+        print("serve dlq: --state-dir is required", file=sys.stderr)
+        return 2
+    dlq = DeadLetterQueue(pathlib.Path(args.state_dir) / "dlq.jsonl")
+    action = args.extra[0] if args.extra else "list"
+    if action == "list":
+        entries = dlq.entries()
+        if not entries:
+            print("dlq: empty")
+            return 0
+        for entry in entries:
+            print(
+                f"  {entry.tenant}/{entry.name}#{entry.occurrence} "
+                f"[{entry.category}] attempts={entry.attempts} "
+                f"dead_at={entry.dead_at:,.0f}s: {entry.error}"
+            )
+        print(f"dlq: {len(entries)} parked entries")
+        return 0
+    if action == "retry":
+        if len(args.extra) != 4:
+            print(
+                "serve dlq retry: expected <tenant> <name> <occurrence>",
+                file=sys.stderr,
+            )
+            return 2
+        tenant, name, occurrence = args.extra[1], args.extra[2], int(args.extra[3])
+        try:
+            entry = dlq.retry(tenant, name, occurrence)
+        except DLQError as exc:
+            print(f"serve dlq retry: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"dlq: released {entry.tenant}/{entry.name}#{entry.occurrence} "
+            f"(re-running the queue spec will retry it)"
+        )
+        return 0
+    if action == "purge":
+        print(f"dlq: purged {dlq.purge()} entries")
+        return 0
+    print(f"serve dlq: unknown action {action!r} (list|retry|purge)", file=sys.stderr)
+    return 2
+
+
+def _cmd_serve_fsck(args: argparse.Namespace) -> int:
+    from repro.serve import fsck_state_dir
+
+    if not args.state_dir:
+        print("serve fsck: --state-dir is required", file=sys.stderr)
+        return 2
+    report = fsck_state_dir(args.state_dir, repair=args.repair)
+    for finding in report.findings:
+        print(f"  [{finding.severity}] {finding.path}: {finding.detail}")
+    print(
+        f"fsck: {report.journal_records} journal records, "
+        f"{report.dlq_records} dead-letter records, "
+        f"{report.cache_entries} cache entries, "
+        f"{len(report.errors)} unrepaired problems"
+    )
+    return 0 if report.clean else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import build_service, load_specfile, parse_interval
 
+    if args.specfile == "dlq":
+        return _cmd_serve_dlq(args)
+    if args.specfile == "fsck":
+        return _cmd_serve_fsck(args)
+    if args.extra:
+        print(f"serve: unexpected arguments: {args.extra}", file=sys.stderr)
+        return 2
     payload = load_specfile(args.specfile)
+    if args.queue_bound is not None:
+        payload["queue_bound"] = args.queue_bound
+    if args.shard_attempts is not None:
+        payload["shard_attempts"] = args.shard_attempts
     service, horizon = build_service(
-        payload, workers=args.workers, state_dir=args.state_dir
+        payload,
+        workers=args.workers,
+        state_dir=args.state_dir,
+        service_faults=args.service_faults,
+        service_fault_seed=args.service_fault_seed,
     )
     if args.until is not None:
         horizon = parse_interval(args.until)
@@ -372,9 +451,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         else:
             outcome = "callable"
+        if study.degraded:
+            outcome += f", DEGRADED (excluded shards {list(study.excluded_shards)})"
         print(
             f"  [{study.sid:03d}] {study.tenant}/{study.name}#{study.occurrence} "
             f"done t={study.completed_at:,.0f}s ({outcome})"
+        )
+    for failure in service.failed:
+        fate = "dead-lettered" if failure.dead else "retried"
+        print(
+            f"  [{failure.sid:03d}] {failure.tenant}/{failure.name}"
+            f"#{failure.occurrence} FAILED attempt {failure.attempt} "
+            f"[{failure.category}] t={failure.failed_at:,.0f}s ({fate})"
         )
     sim_hours = service.clock.now / 3600.0
     throughput = len(completed) / sim_hours if sim_hours else 0.0
@@ -384,6 +472,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"cache hit rate {service.cache_hit_rate:.1%}, "
         f"queue depth {service.queue.depth()}"
     )
+    if service.failed or len(service.dlq):
+        print(
+            f"serve: {len(service.failed)} contained failures, "
+            f"{len(service.dlq)} studies parked in the dead-letter queue "
+            f"(inspect with `repro serve dlq --state-dir ...`)"
+        )
     if args.prom:
         path = pathlib.Path(args.prom)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -591,7 +685,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain a queue spec as a continuous-measurement service "
         "(multi-tenant scheduling + digest-keyed incremental re-crawls)",
     )
-    serve.add_argument("specfile", help="JSON queue spec (see docs/service.md)")
+    serve.add_argument(
+        "specfile",
+        help="JSON queue spec (see docs/service.md), or a maintenance "
+        "command word: 'dlq' (list|retry|purge dead-lettered studies) or "
+        "'fsck' (validate/repair a state dir)",
+    )
+    serve.add_argument(
+        "extra", nargs="*",
+        help="arguments for 'dlq' (e.g. list | retry TENANT NAME OCC | purge)",
+    )
     serve.add_argument(
         "--workers", type=int, default=1,
         help="worker processes shared by every study the service drains "
@@ -613,6 +716,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--prom", metavar="PATH",
         help="write the service metrics as a Prometheus text exposition",
+    )
+    serve.add_argument(
+        "--service-faults", metavar="PROFILE",
+        help="inject service-plane faults from a named profile "
+        "(none|mild|chaos); overrides the spec's service_faults section",
+    )
+    serve.add_argument(
+        "--service-fault-seed", type=int, metavar="N",
+        help="keyed-hash seed for the service fault plan (default: spec's)",
+    )
+    serve.add_argument(
+        "--queue-bound", type=int, metavar="N",
+        help="global queue bound: overflow is shed deterministically "
+        "(lowest priority, lightest tenant, newest first)",
+    )
+    serve.add_argument(
+        "--shard-attempts", type=int, metavar="N",
+        help="per-shard attempt budget before quarantine (degraded study); "
+        "default 1, or 2 under an active fault profile",
+    )
+    serve.add_argument(
+        "--repair", action="store_true",
+        help="with 'fsck': apply safe repairs (truncate torn journal "
+        "lines, evict corrupt cache entries, remove orphaned temp files)",
     )
 
     report = sub.add_parser("report", help="re-print tables for a saved dataset")

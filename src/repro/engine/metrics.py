@@ -161,6 +161,16 @@ class RunReport:
     #: when tracing was off, keeping untraced reports byte-identical to
     #: pre-obs builds.
     trace_digest: "str | None" = None
+    #: Whether the run completed without some shards (service-plane
+    #: containment quarantined them after exhausting their attempts).  A
+    #: degraded run's datasets cover only the surviving shards and never
+    #: feed §5 findings.  Both fields are absent from :meth:`to_dict` when
+    #: the run is whole, keeping healthy reports byte-identical to
+    #: pre-resilience builds.
+    degraded: bool = False
+    #: Quarantined shards in index order:
+    #: ``[{"index", "attempts", "category", "error"}, ...]``.
+    excluded_shards: list[dict] = field(default_factory=list)
 
     @property
     def completed_shards(self) -> int:
@@ -197,6 +207,9 @@ class RunReport:
         }
         if self.trace_digest is not None:
             payload["trace_digest"] = self.trace_digest
+        if self.degraded:
+            payload["degraded"] = True
+            payload["excluded_shards"] = [dict(entry) for entry in self.excluded_shards]
         return payload
 
     @staticmethod

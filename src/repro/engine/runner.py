@@ -16,7 +16,7 @@ common currency of process transport, checkpoint journals, and merging.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.export import dataset_to_dict
 from repro.core.validity import NodeHealth, ValidityPolicy
@@ -34,11 +34,18 @@ from repro.engine.retry import RetryPolicy
 from repro.engine.sharding import ShardSpec, derive_seed
 from repro.faults import KIND_STALE
 from repro.obs import OBS_OFF, OBS_TRACE, MetricsRegistry, TraceRecorder, registry_from_events
+from repro.resilience.taxonomy import classify_failure, describe_failure
 from repro.sim import World, WorldConfig, build_world
 from repro.sim.profiles import CountrySpec
 
+if TYPE_CHECKING:
+    from repro.faults.service import ServiceFaultPlan
+
 #: Outcome label for a node that exhausted its retry budget.
 NODE_FAILED = "failed"
+
+#: Result ``kind`` of a contained shard attempt that failed.
+SHARD_FAILED = "shard-failure"
 
 
 @dataclass(frozen=True)
@@ -274,6 +281,47 @@ def execute_shard(task: ShardTask) -> dict:
     if obs_payload is not None:
         result["obs"] = obs_payload
     return result
+
+
+@dataclass(frozen=True)
+class ShardAttempt:
+    """One containment-wrapped try at a shard, picklable.
+
+    ``attempt`` keys the execute fault seam (retry N draws fresh faults)
+    and ``codec`` selects :func:`execute_shard` vs
+    :func:`execute_shard_live`, mirroring the engine's ``use_codec`` rule.
+    """
+
+    task: ShardTask
+    attempt: int = 0
+    codec: bool = True
+    faults: Optional["ServiceFaultPlan"] = None
+
+
+def execute_shard_contained(attempt: ShardAttempt) -> dict:
+    """Executor entry point that contains failures instead of raising.
+
+    A worker that raised would poison the whole pool run; instead, any
+    failure — an injected execute-seam fault or a genuine exception —
+    comes back as a ``kind=SHARD_FAILED`` dict carrying its taxonomy
+    classification, so the engine can retry or quarantine the shard and
+    the study survives degraded.  The failure payload is deterministic
+    (classified category plus a bounded single-line description), keeping
+    the contained path inside the replay contract.
+    """
+    task = attempt.task
+    try:
+        if attempt.faults is not None:
+            attempt.faults.check("execute", task.spec.index, attempt.attempt)
+        return execute_shard(task) if attempt.codec else execute_shard_live(task)
+    except Exception as exc:  # containment boundary: classified, never raised
+        return {
+            "kind": SHARD_FAILED,
+            "index": task.spec.index,
+            "attempt": attempt.attempt,
+            "category": classify_failure(exc, "engine"),
+            "error": describe_failure(exc),
+        }
 
 
 def execute_shard_live(task: ShardTask) -> dict:

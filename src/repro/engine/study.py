@@ -25,8 +25,8 @@ users) assert cheaply.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
-from typing import Mapping, Optional, Protocol
+from dataclasses import asdict, dataclass, field, replace
+from typing import TYPE_CHECKING, Mapping, Optional, Protocol
 
 from repro.core.crawler import DEFAULT_STOP_THRESHOLD, DEFAULT_WINDOW, CrawlController
 from repro.core.export import dataset_from_dict, dataset_to_dict
@@ -37,7 +37,15 @@ from repro.engine.executor import Executor, make_executor, resolve_workers
 from repro.engine.experiments import EXPERIMENT_ORDER, Dataset, empty_dataset
 from repro.engine.metrics import RunReport, ShardMetrics
 from repro.engine.retry import RetryPolicy
-from repro.engine.runner import ShardTask, execute_shard, execute_shard_live, run_shard
+from repro.engine.runner import (
+    SHARD_FAILED,
+    ShardAttempt,
+    ShardTask,
+    execute_shard,
+    execute_shard_contained,
+    execute_shard_live,
+    run_shard,
+)
 from repro.engine.sharding import (
     PlanSlice,
     derive_seed,
@@ -53,8 +61,12 @@ from repro.obs import (
     ProfilingChannel,
     TraceLog,
 )
+from repro.resilience.taxonomy import ContainedFailure
 from repro.sim import World, WorldConfig, build_world
 from repro.sim.profiles import CountrySpec
+
+if TYPE_CHECKING:
+    from repro.faults.service import ServiceFaultPlan
 
 
 @dataclass(frozen=True)
@@ -123,6 +135,13 @@ class EngineRun:
     #: Wall-clock profiling channel — digest-excluded by construction; its
     #: contents depend on scheduling and may differ between identical runs.
     profile: Optional[ProfilingChannel] = None
+    #: Whether some shards were quarantined after exhausting their attempts
+    #: (containment mode only).  A degraded run's datasets cover only the
+    #: surviving shards; ``results`` stays ``None`` so a partial crawl can
+    #: never masquerade as a §5 finding.
+    degraded: bool = False
+    #: Quarantined shards: index -> ``{"attempts", "category", "error"}``.
+    excluded_shards: dict[int, dict] = field(default_factory=dict)
 
     def dataset_summary(self) -> str:
         """Canonical summary of this run's datasets (see module function)."""
@@ -276,6 +295,8 @@ def run_study(
     world: Optional[World] = None,
     analyses: bool = True,
     shard_cache: Optional[ShardCache] = None,
+    faults: Optional["ServiceFaultPlan"] = None,
+    shard_attempts: int = 1,
 ) -> EngineRun:
     """Execute one study run end to end.
 
@@ -287,7 +308,18 @@ def run_study(
     whose :func:`shard_cache_key` is already cached are served bit-for-bit
     from the cache and only the dirty remainder executes (the mechanism
     behind ``repro serve`` re-crawls).
+
+    ``faults`` and ``shard_attempts`` enable **contained execution**: each
+    shard runs through :func:`execute_shard_contained`, an injected or
+    genuine failure is retried up to ``shard_attempts`` times with fresh
+    keyed fault draws, and a shard that exhausts its budget is quarantined
+    — the run completes ``degraded`` with an explicit excluded-shard list
+    instead of aborting (only if *every* shard dies does the run raise).
+    With both at their defaults the engine keeps its historic fail-fast
+    behaviour, byte-for-byte.
     """
+    if shard_attempts < 1:
+        raise ValueError(f"shard_attempts must be >= 1: {shard_attempts}")
     profile = ProfilingChannel(enabled=spec.obs != OBS_OFF)
     with profile.section("plan"):
         coordinator = (
@@ -381,17 +413,58 @@ def run_study(
     # the shard's live datasets and skips the codec round-trip.  A cache
     # also stores the JSON-able form, so it forces the codec path too.
     use_codec = journal is not None or shard_cache is not None
-    shard_fn = execute_shard if use_codec else execute_shard_live
+    contained = faults is not None or shard_attempts > 1
+    excluded: dict[int, dict] = {}
+
+    def store(result: dict) -> None:
+        completed[result["index"]] = result
+        if shard_cache is not None:
+            shard_cache.put(cache_keys[result["index"]], result)
+        if journal is not None:
+            journal.append_shard(result)
+            # Wall-clock, completion-order annotation: profiling channel
+            # only, never the deterministic trace.
+            profile.note("checkpoint.shard", shard=result["index"])
+
     with profile.section("execute"):
-        for result in pool.run(tasks, shard_fn):
-            completed[result["index"]] = result
-            if shard_cache is not None:
-                shard_cache.put(cache_keys[result["index"]], result)
-            if journal is not None:
-                journal.append_shard(result)
-                # Wall-clock, completion-order annotation: profiling channel
-                # only, never the deterministic trace.
-                profile.note("checkpoint.shard", shard=result["index"])
+        if contained:
+            pending = [
+                ShardAttempt(task=task, codec=use_codec, faults=faults)
+                for task in tasks
+            ]
+            while pending:
+                retries: list[ShardAttempt] = []
+                for result in pool.run(pending, execute_shard_contained):
+                    if result["kind"] != SHARD_FAILED:
+                        store(result)
+                        continue
+                    tries = result["attempt"] + 1
+                    prior = next(
+                        a for a in pending if a.task.spec.index == result["index"]
+                    )
+                    if tries < shard_attempts:
+                        retries.append(replace(prior, attempt=tries))
+                    else:
+                        excluded[result["index"]] = {
+                            "attempts": tries,
+                            "category": result["category"],
+                            "error": result["error"],
+                        }
+                        profile.note("shard.quarantined", shard=result["index"])
+                # Round barrier in shard-index order: the retry wave is a
+                # pure function of which shards failed, never of completion
+                # interleaving.
+                pending = sorted(retries, key=lambda a: a.task.spec.index)
+        else:
+            shard_fn = execute_shard if use_codec else execute_shard_live
+            for result in pool.run(tasks, shard_fn):
+                store(result)
+
+    if excluded and not completed:
+        raise ContainedFailure(
+            "shard",
+            f"all {spec.shards} shards exhausted {shard_attempts} attempts",
+        )
 
     report.shards = [
         ShardMetrics.from_dict(completed[index]["metrics"]) for index in sorted(completed)
@@ -403,6 +476,13 @@ def run_study(
         spec=spec, digest=digest, plans=plans, datasets=datasets, report=report,
         cached_shards=cached_count,
     )
+    if excluded:
+        run.degraded = True
+        run.excluded_shards = {index: excluded[index] for index in sorted(excluded)}
+        report.degraded = True
+        report.excluded_shards = [
+            {"index": index, **excluded[index]} for index in sorted(excluded)
+        ]
     if spec.obs != OBS_OFF:
         run.profile = profile
         run.obs_metrics = MetricsRegistry.merge_all(
@@ -414,7 +494,9 @@ def run_study(
                 {index: completed[index]["obs"]["trace"] for index in sorted(completed)}
             )
             report.trace_digest = run.trace.digest()
-    if analyses:
+    # A degraded run's datasets are partial: §5 analyses over them would be
+    # silently wrong, so degraded runs never produce results tables.
+    if analyses and not excluded:
         run.results = assemble_results(
             coordinator,
             datasets["dns"],  # type: ignore[arg-type]

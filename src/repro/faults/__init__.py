@@ -23,6 +23,20 @@ from repro.faults.inject import (
 )
 from repro.faults.plan import FaultPlan
 from repro.faults.profiles import PROFILES, FaultProfile, get_profile
+from repro.faults.service import (
+    SEAM_CACHE,
+    SEAM_CALLABLE,
+    SEAM_CATEGORIES,
+    SEAM_COORDINATOR,
+    SEAM_EXECUTE,
+    SEAM_JOURNAL,
+    SERVICE_PROFILES,
+    SERVICE_SEAMS,
+    ServiceFaultError,
+    ServiceFaultPlan,
+    ServiceFaultProfile,
+    get_service_profile,
+)
 
 __all__ = [
     "FAILURE_KINDS",
@@ -32,11 +46,23 @@ __all__ = [
     "KIND_TIMEOUT",
     "KIND_TRUNCATED",
     "PROFILES",
+    "SEAM_CACHE",
+    "SEAM_CALLABLE",
+    "SEAM_CATEGORIES",
+    "SEAM_COORDINATOR",
+    "SEAM_EXECUTE",
+    "SEAM_JOURNAL",
+    "SERVICE_PROFILES",
+    "SERVICE_SEAMS",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
     "FaultProfile",
+    "ServiceFaultError",
+    "ServiceFaultPlan",
+    "ServiceFaultProfile",
     "get_profile",
+    "get_service_profile",
     "response_truncated",
     "truncate_response",
 ]

@@ -7,7 +7,7 @@ from repro.lint.rules.determinism import UnorderedIteration, UnseededRandom, Wal
 from repro.lint.rules.faultplan import FaultPlanOnly
 from repro.lint.rules.observability import SimulatedTimeOnly
 from repro.lint.rules.safety import BroadExcept, MutableDefaults
-from repro.lint.rules.service import DeterministicService
+from repro.lint.rules.service import ContainedFailures, DeterministicService
 from repro.lint.rules.simulation import FrozenRecords
 from repro.lint.rules.sterility import SterileImports
 
@@ -24,6 +24,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BroadExcept(),      # SAFE002
     FrozenRecords(),    # SIM001
     DeterministicService(),  # SRV001
+    ContainedFailures(),  # SRV002
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
@@ -37,6 +38,7 @@ def get_rule(rule_id: str) -> Rule:
 __all__ = [
     "ALL_RULES",
     "BroadExcept",
+    "ContainedFailures",
     "DeterministicService",
     "FaultPlanOnly",
     "FrozenRecords",

@@ -13,15 +13,24 @@ daemon around the engine without touching its determinism contract:
   result caches making re-crawls incremental (and crash recovery free);
 * :class:`Service` — the loop: pump fires, pop fairly, execute, publish
   metrics, journal;
-* :mod:`~repro.serve.specfile` — JSON queue specs for ``repro serve``.
+* :mod:`~repro.serve.specfile` — JSON queue specs for ``repro serve``;
+* :mod:`~repro.serve.fsck` — state-dir validation and safe repair.
 
 Every engine study the service completes is byte-identical to the same
 spec run standalone.  Nothing in this package may read the wall clock or
-ambient randomness (lint rule SRV001 enforces this).  See
-``docs/service.md``.
+ambient randomness (lint rule SRV001 enforces this), and every failure a
+study raises must be contained into the ``repro.resilience`` taxonomy
+(lint rule SRV002 enforces that).  See ``docs/service.md``.
 """
 
-from repro.serve.cache import DiskShardCache, MemoryShardCache
+from repro.serve.cache import (
+    CacheEntryError,
+    DiskShardCache,
+    MemoryShardCache,
+    decode_entry,
+    encode_entry,
+)
+from repro.serve.fsck import Finding, FsckReport, fsck_state_dir
 from repro.serve.journal import SERVICE_JOURNAL_VERSION, ServiceJournal, ServiceJournalError
 from repro.serve.queue import (
     QueueStats,
@@ -35,15 +44,20 @@ from repro.serve.service import (
     CallableRequest,
     CompletedStudy,
     EngineStudyRequest,
+    FailedStudy,
     Service,
 )
 from repro.serve.specfile import SpecfileError, build_service, load_specfile, study_spec
 
 __all__ = [
+    "CacheEntryError",
     "CallableRequest",
     "CompletedStudy",
     "DiskShardCache",
     "EngineStudyRequest",
+    "FailedStudy",
+    "Finding",
+    "FsckReport",
     "MemoryShardCache",
     "QueueStats",
     "QuotaExceeded",
@@ -57,6 +71,9 @@ __all__ = [
     "Submission",
     "TenantPolicy",
     "build_service",
+    "decode_entry",
+    "encode_entry",
+    "fsck_state_dir",
     "jitter_fraction",
     "load_specfile",
     "parse_interval",

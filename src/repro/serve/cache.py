@@ -18,21 +18,78 @@ byte-identical results because every replayed shard hits.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Optional, Union
 
+#: Bump when the on-disk entry envelope changes incompatibly.
+CACHE_ENVELOPE_VERSION = 1
+
+
+class CacheEntryError(ValueError):
+    """A cache file parsed as JSON but is not a valid, intact envelope."""
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def encode_entry(result: dict) -> str:
+    """A shard result wrapped in the self-describing on-disk envelope.
+
+    The envelope carries a SHA-256 over the canonical payload, so a
+    *semantically* corrupt entry — JSON-valid but bit-flipped, truncated at
+    a token boundary, or hand-edited — is detectable, not just one that
+    fails to parse.  A poisoned shard entry silently feeding a study would
+    violate the hit-equals-re-execution contract.
+    """
+    payload = _canonical(result)
+    return _canonical(
+        {
+            "payload": result,
+            "sha256": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+            "v": CACHE_ENVELOPE_VERSION,
+        }
+    )
+
+
+def decode_entry(text: str) -> dict:
+    """The shard result inside an envelope; raises on any defect.
+
+    ``json.JSONDecodeError`` for torn files, :class:`CacheEntryError` for
+    structurally wrong envelopes or a payload whose SHA-256 disagrees with
+    the declared one.
+    """
+    envelope = json.loads(text)
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("v") != CACHE_ENVELOPE_VERSION
+        or not isinstance(envelope.get("payload"), dict)
+        or not isinstance(envelope.get("sha256"), str)
+    ):
+        raise CacheEntryError("not a shard-cache envelope")
+    payload = envelope["payload"]
+    actual = hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+    if actual != envelope["sha256"]:
+        raise CacheEntryError(
+            f"payload SHA mismatch: {actual[:12]} != {envelope['sha256'][:12]}"
+        )
+    return payload
+
 
 class _CacheStats:
     """Hit/miss/store counters shared by both cache kinds."""
 
-    __slots__ = ("hits", "misses", "stores")
+    __slots__ = ("hits", "misses", "stores", "corrupt")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entries evicted because they were torn or failed verification.
+        self.corrupt = 0
 
     @property
     def lookups(self) -> int:
@@ -77,9 +134,12 @@ class DiskShardCache:
 
     Writes are atomic — serialized to ``<key>.json.tmp`` then renamed — so
     a crash mid-``put`` can never leave a half-entry a later run would
-    trust.  A file that fails to parse (torn by an unclean filesystem, or
-    hand-edited) is treated as a miss and deleted, because a corrupt cache
-    entry must never be worth more than re-executing the shard.
+    trust.  Entries are stored in the self-describing envelope of
+    :func:`encode_entry`, whose payload SHA-256 catches *semantic*
+    corruption that still parses as JSON.  Any defective file — torn,
+    unreadable, mis-shaped, or SHA-mismatched — is treated as a miss and
+    deleted, because a corrupt cache entry must never be worth more than
+    re-executing the shard.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
@@ -97,14 +157,16 @@ class DiskShardCache:
         """The cached result, counting the lookup as hit or miss."""
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload = decode_entry(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (json.JSONDecodeError, OSError):
-            # Torn or unreadable entry: drop it and re-execute the shard.
+        except (json.JSONDecodeError, CacheEntryError, OSError):
+            # Torn, unreadable, or verification-failed entry: drop it and
+            # re-execute the shard.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            self.stats.corrupt += 1
             return None
         self.stats.hits += 1
         return payload
@@ -113,9 +175,6 @@ class DiskShardCache:
         """Persist one shard result atomically."""
         path = self._path(key)
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps(result, sort_keys=True, separators=(",", ":")),
-            encoding="utf-8",
-        )
+        tmp.write_text(encode_entry(result), encoding="utf-8")
         os.replace(tmp, path)
         self.stats.stores += 1

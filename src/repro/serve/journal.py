@@ -52,6 +52,14 @@ class ServiceJournal:
         payload.update(record)
         self._append(payload)
 
+    def append_failure(self, record: dict) -> None:
+        """Append one failed study's ledger line (taxonomy-classified)."""
+        if "sid" not in record or "category" not in record:
+            raise ServiceJournalError(f"not a failure record: {sorted(record)!r}")
+        payload = {"kind": "failed-study"}
+        payload.update(record)
+        self._append(payload)
+
     def _append(self, record: dict) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
@@ -84,3 +92,9 @@ class ServiceJournal:
     def studies(self) -> list[dict]:
         """Just the ``study`` lines, in append order."""
         return [record for record in self.load() if record.get("kind") == "study"]
+
+    def failures(self) -> list[dict]:
+        """Just the ``failed-study`` lines, in append order."""
+        return [
+            record for record in self.load() if record.get("kind") == "failed-study"
+        ]

@@ -69,6 +69,8 @@ class QueueStats:
     submitted: dict[str, int] = field(default_factory=dict)
     rejected: dict[str, int] = field(default_factory=dict)
     served: dict[str, int] = field(default_factory=dict)
+    #: Submissions dropped by global load shedding (see :meth:`StudyQueue.shed`).
+    shed: dict[str, int] = field(default_factory=dict)
 
     def bump(self, table: dict[str, int], tenant: str) -> None:
         """Increment one tenant's counter in ``table``."""
@@ -142,15 +144,45 @@ class StudyQueue:
         normalized = served / self.policy(submission.tenant).weight
         return (-submission.priority, normalized, submission.sid)
 
-    def pop(self) -> Optional[Submission]:
+    def pop(self, blocked: frozenset[str] = frozenset()) -> Optional[Submission]:
         """Remove and return the next submission under the fairness rule.
 
         Marks the winning tenant as served, so repeated pops interleave
-        tenants according to their weights.  ``None`` on an empty queue.
+        tenants according to their weights.  ``blocked`` tenants (e.g.
+        quarantined by an open circuit breaker) are passed over — their
+        submissions stay queued.  ``None`` when nothing is eligible.
         """
-        if not self._pending:
+        eligible = (
+            self._pending
+            if not blocked
+            else [sub for sub in self._pending if sub.tenant not in blocked]
+        )
+        if not eligible:
             return None
-        winner = min(self._pending, key=self._rank)
+        winner = min(eligible, key=self._rank)
         self._pending.remove(winner)
         self.stats.bump(self.stats.served, winner.tenant)
         return winner
+
+    def shed(self, bound: int) -> list[Submission]:
+        """Drop submissions until at most ``bound`` remain; returns victims.
+
+        Deterministic victim order: the lowest priority goes first, then the
+        lightest-weight tenant, then the *newest* submission (highest sid) —
+        an overloaded service sacrifices the cheapest, most recent work and
+        never touches what the fairness rule would run next.
+        """
+        victims: list[Submission] = []
+        while len(self._pending) > bound:
+            victim = max(
+                self._pending,
+                key=lambda sub: (
+                    -sub.priority,
+                    -self.policy(sub.tenant).weight,
+                    sub.sid,
+                ),
+            )
+            self._pending.remove(victim)
+            self.stats.bump(self.stats.shed, victim.tenant)
+            victims.append(victim)
+        return victims

@@ -45,6 +45,8 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.engine.study import StudySpec
+from repro.faults.service import ServiceFaultPlan, get_service_profile
+from repro.resilience import BreakerPolicy, StudyRetryPolicy
 from repro.serve.queue import TenantPolicy
 from repro.serve.schedule import Recurrence, parse_interval
 from repro.serve.service import Service
@@ -62,6 +64,19 @@ _STUDY_KEYS = {
 
 _WORLD_FIELDS = {field.name for field in fields(WorldConfig)}
 
+#: Recognized top-level queue-spec keys.
+_TOP_LEVEL_KEYS = {
+    "seed",
+    "horizon",
+    "tenants",
+    "studies",
+    "service_faults",
+    "retry",
+    "breaker",
+    "queue_bound",
+    "shard_attempts",
+}
+
 
 class SpecfileError(ValueError):
     """The queue spec file is malformed."""
@@ -76,7 +91,7 @@ def load_specfile(path: Union[str, Path]) -> dict:
         raise SpecfileError(f"{path}: not valid JSON: {exc}") from None
     if not isinstance(payload, dict):
         raise SpecfileError(f"{path}: top level must be an object")
-    unknown = sorted(set(payload) - {"seed", "horizon", "tenants", "studies"})
+    unknown = sorted(set(payload) - _TOP_LEVEL_KEYS)
     if unknown:
         raise SpecfileError(f"{path}: unknown top-level keys: {unknown}")
     return payload
@@ -95,22 +110,84 @@ def study_spec(entry: dict) -> StudySpec:
     return StudySpec(**kwargs)
 
 
+def _fault_plan(
+    payload: dict,
+    seed: int,
+    override_profile: Optional[str],
+    override_seed: Optional[int],
+) -> Optional[ServiceFaultPlan]:
+    """The service fault plan a spec (plus CLI overrides) asks for."""
+    section = payload.get("service_faults", {})
+    if not isinstance(section, dict):
+        raise SpecfileError("service_faults must be an object")
+    unknown = sorted(set(section) - {"profile", "seed"})
+    if unknown:
+        raise SpecfileError(f"service_faults: unknown keys: {unknown}")
+    profile_name = (
+        override_profile
+        if override_profile is not None
+        else section.get("profile", "none")
+    )
+    fault_seed = (
+        override_seed if override_seed is not None else int(section.get("seed", 0))
+    )
+    try:
+        profile = get_service_profile(profile_name)
+    except ValueError as exc:
+        raise SpecfileError(f"service_faults: {exc}") from None
+    if profile.is_zero:
+        return None
+    return ServiceFaultPlan.for_service(seed, fault_seed, profile)
+
+
 def build_service(
     payload: dict,
     *,
     workers: int = 1,
     state_dir: Optional[Union[str, Path]] = None,
     obs: bool = False,
+    service_faults: Optional[str] = None,
+    service_fault_seed: Optional[int] = None,
 ) -> tuple[Service, float]:
     """A ready-to-run :class:`Service` (plus its horizon) from a queue spec.
 
     Tenant policies are registered, scheduled studies get their recurrences,
     and unscheduled studies are submitted immediately.  Returns
     ``(service, horizon_seconds)`` — call ``service.run(until=horizon)``.
+
+    The resilience knobs — ``service_faults``, ``retry``, ``breaker``,
+    ``queue_bound``, ``shard_attempts`` — ride in the spec file so a chaos
+    run is as declarative (and as reproducible) as a clean one;
+    ``service_faults``/``service_fault_seed`` arguments override the spec's
+    fault section (the ``repro serve --service-faults`` flag).
     """
     seed = int(payload.get("seed", 0))
     horizon = parse_interval(payload.get("horizon", 0.0))
-    service = Service(seed=seed, workers=workers, state_dir=state_dir, obs=obs)
+    retry = (
+        StudyRetryPolicy.from_dict(payload["retry"]) if "retry" in payload else None
+    )
+    breaker = (
+        BreakerPolicy.from_dict(payload["breaker"]) if "breaker" in payload else None
+    )
+    queue_bound = (
+        int(payload["queue_bound"]) if payload.get("queue_bound") is not None else None
+    )
+    shard_attempts = (
+        int(payload["shard_attempts"])
+        if payload.get("shard_attempts") is not None
+        else None
+    )
+    service = Service(
+        seed=seed,
+        workers=workers,
+        state_dir=state_dir,
+        obs=obs,
+        retry=retry,
+        breaker=breaker,
+        faults=_fault_plan(payload, seed, service_faults, service_fault_seed),
+        shard_attempts=shard_attempts,
+        queue_bound=queue_bound,
+    )
     tenants = payload.get("tenants", {})
     for tenant in sorted(tenants):
         policy = tenants[tenant]

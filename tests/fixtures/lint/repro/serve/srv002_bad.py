@@ -1,0 +1,32 @@
+"""SRV002 bad fixture: service-plane handlers that swallow failures.
+
+Lives under a ``repro/serve/`` directory because the rule is scoped to the
+service package.  Every handler here either catches everything blindly or
+catches ``Exception`` without re-raising *or* classifying — the containment
+ledger never hears about the failure.
+"""
+
+
+def drain_with_bare_except(queue) -> int:
+    drained = 0
+    for item in queue:
+        try:
+            item.run()
+            drained += 1
+        except:  # noqa: E722 — the point of the fixture
+            pass
+    return drained
+
+
+def swallow_exception(study) -> None:
+    try:
+        study.execute()
+    except Exception:
+        return None
+
+
+def log_and_forget(study, log) -> None:
+    try:
+        study.execute()
+    except Exception as exc:
+        log.append(str(exc))

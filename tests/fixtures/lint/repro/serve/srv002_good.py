@@ -1,0 +1,28 @@
+"""SRV002 good fixture: handlers that re-raise or classify into the taxonomy."""
+
+
+def classify_failure(exc, stage="spec"):
+    """Stand-in for ``repro.resilience.classify_failure``."""
+    return getattr(exc, "category", stage)
+
+
+def contain(study, ledger) -> None:
+    try:
+        study.execute()
+    except Exception as exc:
+        ledger.append({"category": classify_failure(exc, "spec"), "error": str(exc)})
+
+
+def cleanup_then_reraise(study, cache) -> None:
+    try:
+        study.execute()
+    except Exception:
+        cache.clear()
+        raise
+
+
+def narrow_catch_is_fine(study) -> int:
+    try:
+        return study.execute()
+    except ValueError:
+        return 0

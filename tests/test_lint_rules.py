@@ -212,3 +212,45 @@ class TestServiceRule:
         for module in sorted(package_dir.glob("*.py")):
             findings = engine.lint_file(module, package_dir.parent.parent)
             assert findings == [], f"{module.name}: {findings}"
+
+
+class TestContainedFailuresRule:
+    """SRV002 is path-scoped to ``repro/serve/``: a blanket handler there
+    must re-raise or route the exception into the failure taxonomy.
+
+    Its bad fixture also trips SAFE002 (by design — SRV002 is the stricter,
+    service-scoped variant), so these tests select SRV002 alone.
+    """
+
+    BAD = FIXTURES / "repro" / "serve" / "srv002_bad.py"
+    GOOD = FIXTURES / "repro" / "serve" / "srv002_good.py"
+
+    @staticmethod
+    def engine() -> LintEngine:
+        return LintEngine(LintConfig(select=("SRV002",)))
+
+    def test_bad_fixture_fires(self):
+        findings = self.engine().lint_file(self.BAD, FIXTURES)
+        assert findings, "SRV002 bad fixture produced no findings"
+        assert {f.rule for f in findings} == {"SRV002"}
+        assert sorted(f.symbol for f in findings) == [
+            "bare-except", "except-Exception", "except-Exception",
+        ]
+
+    def test_good_fixture_is_silent(self):
+        findings = self.engine().lint_file(self.GOOD, FIXTURES)
+        assert findings == [], f"srv002_good.py should be clean: {findings}"
+
+    def test_rule_is_scoped_to_serve_package(self):
+        source = self.BAD.read_text(encoding="utf-8")
+        findings = self.engine().lint_source(source, "repro/engine/elsewhere.py")
+        assert findings == []
+
+    def test_shipped_serve_package_is_clean(self):
+        import repro.serve as serve_pkg
+
+        package_dir = pathlib.Path(serve_pkg.__file__).resolve().parent
+        engine = self.engine()
+        for module in sorted(package_dir.glob("*.py")):
+            findings = engine.lint_file(module, package_dir.parent.parent)
+            assert findings == [], f"{module.name}: {findings}"

@@ -1,0 +1,226 @@
+"""Unit contracts for ``repro.resilience``: taxonomy, retry, breaker, DLQ.
+
+Everything here is pure simulated-time machinery — no wall clock, no RNG —
+so every assertion is exact: delays are reproducible keyed-hash values,
+breaker transitions happen at computable instants, and the DLQ folds its
+JSONL history to the same state however often it is reloaded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    FAILURE_CATEGORIES,
+    BreakerPolicy,
+    CircuitBreaker,
+    ContainedFailure,
+    DeadLetterEntry,
+    DeadLetterQueue,
+    DLQError,
+    FailureRecord,
+    StudyRetryPolicy,
+    classify_failure,
+    describe_failure,
+)
+from repro.faults.service import ServiceFaultError
+
+
+class TestTaxonomy:
+    def test_categories_are_closed_and_sorted(self):
+        assert FAILURE_CATEGORIES == tuple(sorted(FAILURE_CATEGORIES))
+        assert set(FAILURE_CATEGORIES) == {
+            "cache", "callable", "journal", "shard", "spec", "world",
+        }
+
+    def test_contained_failure_carries_category(self):
+        exc = ContainedFailure("shard", "worker died")
+        assert exc.category == "shard"
+        assert classify_failure(exc) == "shard"
+
+    def test_contained_failure_rejects_unknown_category(self):
+        with pytest.raises(ValueError):
+            ContainedFailure("gremlins", "nope")
+
+    def test_classify_falls_back_to_stage(self):
+        assert classify_failure(RuntimeError("x"), stage="coordinator") == "world"
+        assert classify_failure(RuntimeError("x"), stage="cache") == "cache"
+        assert classify_failure(RuntimeError("x"), stage="nonsense") == "spec"
+
+    def test_service_fault_error_is_preclassified(self):
+        exc = ServiceFaultError("journal", "injected")
+        assert classify_failure(exc, stage="engine") == "journal"
+
+    def test_describe_collapses_and_bounds(self):
+        exc = ValueError("a\n" + "b" * 500)
+        text = describe_failure(exc, limit=50)
+        assert "\n" not in text
+        assert len(text) <= 50 + len("ValueError: ") + 3
+
+    def test_failure_record_roundtrip(self):
+        record = FailureRecord.from_exception(RuntimeError("boom"), stage="callable")
+        assert record.category == "callable"
+        assert record.to_dict()["error"].startswith("RuntimeError: boom")
+
+
+class TestRetryPolicy:
+    def test_delay_grows_geometrically_with_bounded_jitter(self):
+        policy = StudyRetryPolicy(
+            max_attempts=5, backoff_seconds=100.0, backoff_factor=2.0, jitter=0.1
+        )
+        for attempt in (1, 2, 3):
+            base = 100.0 * 2.0 ** (attempt - 1)
+            delay = policy.delay(7, "acme/crawl#0", attempt)
+            assert base <= delay <= base * 1.1
+
+    def test_delay_is_deterministic_and_keyed(self):
+        policy = StudyRetryPolicy()
+        a = policy.delay(7, "acme/crawl#0", 1)
+        assert a == policy.delay(7, "acme/crawl#0", 1)
+        assert a != policy.delay(7, "acme/crawl#1", 1)
+        assert a != policy.delay(8, "acme/crawl#0", 1)
+
+    def test_dict_roundtrip_rejects_unknown_keys(self):
+        policy = StudyRetryPolicy(max_attempts=4, jitter=0.0)
+        assert StudyRetryPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(ValueError):
+            StudyRetryPolicy.from_dict({"max_attempts": 2, "surprise": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StudyRetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            StudyRetryPolicy(backoff_seconds=-1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3, cooldown_seconds=60.0))
+        assert breaker.record_failure(10.0) is False
+        assert breaker.record_failure(11.0) is False
+        assert breaker.record_failure(12.0) is True
+        assert breaker.state(12.0) == BREAKER_OPEN
+        assert breaker.reopens_at() == 72.0
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2, cooldown_seconds=60.0))
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        assert breaker.record_failure(1.0) is False
+        assert breaker.state(1.0) == BREAKER_CLOSED
+
+    def test_half_open_probe_cycle(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1, cooldown_seconds=30.0))
+        assert breaker.record_failure(0.0) is True
+        assert breaker.state(15.0) == BREAKER_OPEN
+        assert not breaker.allows(15.0)
+        # cooldown elapsed: half-open admits exactly one probe
+        assert breaker.state(30.0) == BREAKER_HALF_OPEN
+        assert breaker.allows(30.0)
+        assert not breaker.allows(30.0)
+        # a failed probe re-opens immediately
+        assert breaker.record_failure(31.0) is True
+        assert breaker.state(31.0) == BREAKER_OPEN
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1, cooldown_seconds=30.0))
+        breaker.record_failure(0.0)
+        assert breaker.allows(30.0)
+        breaker.record_success()
+        assert breaker.state(31.0) == BREAKER_CLOSED
+        assert breaker.reopens_at() is None
+
+    def test_policy_roundtrip(self):
+        policy = BreakerPolicy(failure_threshold=5, cooldown_seconds=120.0)
+        assert BreakerPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(ValueError):
+            BreakerPolicy.from_dict({"cooldown_seconds": 1.0, "nope": 2})
+
+
+class TestDeadLetterQueue:
+    def entry(self, occurrence=0, attempts=3):
+        return DeadLetterEntry(
+            tenant="acme", name="crawl", occurrence=occurrence,
+            category="callable", error="RuntimeError: boom",
+            attempts=attempts, dead_at=120.0,
+        )
+
+    def test_add_list_retry_purge(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path / "dlq.jsonl")
+        dlq.add(self.entry(occurrence=0))
+        dlq.add(self.entry(occurrence=1))
+        assert len(dlq) == 2
+        assert [e.occurrence for e in dlq.entries()] == [0, 1]
+        released = dlq.retry("acme", "crawl", 0)
+        assert released.occurrence == 0
+        assert dlq.parked_keys() == frozenset({("acme", "crawl", 1)})
+        assert dlq.purge() == 1
+        assert len(dlq) == 0
+
+    def test_retry_accumulates_base_attempts(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path / "dlq.jsonl")
+        dlq.add(self.entry(attempts=3))
+        dlq.retry("acme", "crawl", 0)
+        assert dlq.base_attempts("acme", "crawl", 0) == 3
+        dlq.add(self.entry(attempts=2))
+        dlq.retry("acme", "crawl", 0)
+        assert dlq.base_attempts("acme", "crawl", 0) == 5
+
+    def test_state_survives_reload(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        first = DeadLetterQueue(path)
+        first.add(self.entry(occurrence=0))
+        first.add(self.entry(occurrence=1))
+        first.retry("acme", "crawl", 1)
+        second = DeadLetterQueue(path)
+        assert second.parked_keys() == frozenset({("acme", "crawl", 0)})
+        assert second.base_attempts("acme", "crawl", 1) == 3
+
+    def test_dead_records_are_idempotent(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        dlq = DeadLetterQueue(path)
+        dlq.add(self.entry())
+        dlq.add(self.entry())  # a replayed restart re-parks the same study
+        assert len(dlq) == 1
+        assert len(DeadLetterQueue(path)) == 1
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        dlq = DeadLetterQueue(path)
+        dlq.add(self.entry())
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "dead", "tr')
+        assert len(DeadLetterQueue(path)) == 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        dlq = DeadLetterQueue(path)
+        dlq.add(self.entry(occurrence=0))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("garbage{\n" + lines[0] + "\n", encoding="utf-8")
+        with pytest.raises(DLQError):
+            DeadLetterQueue(path)
+
+    def test_retry_of_absent_key_raises(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path / "dlq.jsonl")
+        with pytest.raises(DLQError):
+            dlq.retry("acme", "crawl", 9)
+
+    def test_memory_only_queue_works_without_path(self):
+        dlq = DeadLetterQueue(None)
+        dlq.add(self.entry())
+        assert len(dlq) == 1
+        assert dlq.retry("acme", "crawl", 0).attempts == 3
+
+    def test_records_are_canonical_json(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        DeadLetterQueue(path).add(self.entry())
+        line = path.read_text(encoding="utf-8").splitlines()[0]
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )

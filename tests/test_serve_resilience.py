@@ -1,0 +1,412 @@
+"""Service-plane resilience: containment, retries, DLQ, breakers, shedding.
+
+The headline contract: under the chaos service fault profile a multi-tenant
+``Service.run`` completes every non-poisoned study, routes poisoned ones to
+the dead-letter queue, and produces a bit-identical failure ledger for any
+worker count — failures are as deterministic as successes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.engine import StudySpec
+from repro.faults.service import ServiceFaultPlan, get_service_profile
+from repro.obs import parse_prometheus_text
+from repro.resilience import BreakerPolicy, StudyRetryPolicy
+from repro.serve import (
+    CompletedStudy,
+    FailedStudy,
+    Service,
+    SpecfileError,
+    TenantPolicy,
+    build_service,
+    fsck_state_dir,
+)
+from repro.sim import WorldConfig
+from repro.sim.profiles import CountrySpec, IspSpec, ResolverHijackSpec
+
+SERVE_COUNTRIES = (
+    CountrySpec(
+        code="AA",
+        population=260,
+        isps=(
+            IspSpec(
+                name="AlphaNet",
+                share=0.6,
+                major_resolvers=2,
+                resolver_hijack=ResolverHijackSpec("portal.alphanet.example"),
+            ),
+        ),
+    ),
+    CountrySpec(code="BB", population=180),
+)
+
+SERVE_CONFIG = WorldConfig(
+    scale=1.0,
+    seed=11,
+    include_rare_tail=False,
+    alexa_countries=2,
+    popular_sites_per_country=5,
+    university_sites=3,
+)
+
+
+def serve_spec(shards: int = 2, study_seed: int = 9) -> StudySpec:
+    return StudySpec(
+        config=SERVE_CONFIG, countries=SERVE_COUNTRIES, seed=study_seed,
+        shards=shards, workers=1, window=40,
+    )
+
+
+def poison(service, submission):
+    raise RuntimeError("poison payload")
+
+
+def chaos_plan(seed: int = 7, fault_seed: int = 3) -> ServiceFaultPlan:
+    return ServiceFaultPlan.for_service(seed, fault_seed, get_service_profile("chaos"))
+
+
+def chaos_service(workers: int = 1, state_dir=None) -> Service:
+    service = Service(seed=7, workers=workers, faults=chaos_plan(), state_dir=state_dir)
+    service.submit("acme", "crawl", serve_spec(study_seed=1))
+    service.submit("acme", "crawl2", serve_spec(study_seed=2))
+    service.submit("beta", "probe", serve_spec(study_seed=3))
+    service.submit_callable("gamma", "poison", poison, sim_duration=5.0)
+    return service
+
+
+def ledger_sha(service: Service) -> str:
+    """The invariant failure-story fingerprint: completions + DLQ.
+
+    ``cached_shards`` is masked — cache reuse legitimately differs between
+    cold, warm, and restarted runs while every result byte stays equal.
+    """
+    records = []
+    for study in service.completed:
+        record = study.to_dict()
+        record.pop("cached_shards")
+        records.append(record)
+    records.extend(entry.to_dict() for entry in service.dlq.entries())
+    return hashlib.sha256(
+        json.dumps(records, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+class TestChaosContainment:
+    @pytest.fixture(scope="class")
+    def chaos_run(self):
+        service = chaos_service(workers=1)
+        completed = service.run(until=1e9)
+        return service, completed
+
+    def test_every_non_poisoned_study_completes(self, chaos_run):
+        service, _ = chaos_run
+        names = {(study.tenant, study.name) for study in service.completed}
+        assert names == {("acme", "crawl"), ("acme", "crawl2"), ("beta", "probe")}
+
+    def test_poisoned_study_routes_to_dlq(self, chaos_run):
+        service, _ = chaos_run
+        assert [entry.key() for entry in service.dlq.entries()] == [
+            ("gamma", "poison", 0)
+        ]
+        dead = [f for f in service.failed if f.dead]
+        assert len(dead) == 1
+        assert dead[0].category == "callable"
+        # the attempt died in the callable stage either way: the poison
+        # runner, or the injected callable-seam fault that fires before it
+        assert "poison payload" in dead[0].error or "callable fault" in dead[0].error
+
+    def test_failures_are_classified_and_counted(self, chaos_run):
+        service, _ = chaos_run
+        assert service.failed, "chaos profile injected no faults"
+        families = parse_prometheus_text(service.prometheus_text())
+        assert "serve_failures_total" in families
+        assert "serve_retries_total" in families
+        assert "serve_dlq_total" in families
+        total = sum(families["serve_failures_total"]["samples"].values())
+        assert total == len(service.failed)
+
+    def test_queue_fully_drains(self, chaos_run):
+        service, _ = chaos_run
+        assert service.queue.depth() == 0
+        assert service._retry_queue == []
+
+    def test_ledger_sha_is_worker_invariant(self, chaos_run):
+        service, _ = chaos_run
+        reference = ledger_sha(service)
+        for workers in (2, 4):
+            other = chaos_service(workers=workers)
+            other.run(until=1e9)
+            assert ledger_sha(other) == reference, f"workers={workers}"
+            assert [f.to_dict() for f in other.failed] == [
+                f.to_dict() for f in service.failed
+            ]
+            assert other.prometheus_text() == service.prometheus_text()
+
+
+class TestRetryAndDlq:
+    def test_failed_study_retries_then_dead_letters(self):
+        service = Service(
+            seed=1,
+            retry=StudyRetryPolicy(
+                max_attempts=3, backoff_seconds=60.0, backoff_factor=2.0, jitter=0.0
+            ),
+            breaker=BreakerPolicy(failure_threshold=99, cooldown_seconds=1.0),
+        )
+        service.submit_callable("acme", "bad", poison)
+        service.run(until=0.0)
+        assert [f.attempt for f in service.failed] == [0, 1, 2]
+        assert [f.dead for f in service.failed] == [False, False, True]
+        # keyed-hash backoff on the simulated clock: 60s then 120s
+        assert service.failed[1].failed_at == pytest.approx(60.0)
+        assert service.failed[2].failed_at == pytest.approx(180.0)
+        assert len(service.dlq) == 1
+        assert service.dlq.entries()[0].attempts == 3
+
+    def test_parked_study_is_skipped_on_resubmission(self, tmp_path):
+        first = Service(
+            seed=1, state_dir=tmp_path,
+            retry=StudyRetryPolicy(max_attempts=1, backoff_seconds=1.0),
+        )
+        first.submit_callable("acme", "bad", poison)
+        first.run(until=0.0)
+        assert len(first.dlq) == 1
+
+        second = Service(seed=1, state_dir=tmp_path)
+        second.submit_callable("acme", "bad", poison)
+        second.submit_callable("acme", "good", lambda s, sub: {"ok": True})
+        completed = second.run(until=0.0)
+        assert [study.name for study in completed] == ["good"]
+        assert second.failed == []
+        families = parse_prometheus_text(second.prometheus_text())
+        assert "serve_parked_skips_total" in families
+
+    def test_dlq_release_shifts_the_attempt_base(self, tmp_path):
+        policy = StudyRetryPolicy(max_attempts=2, backoff_seconds=1.0, jitter=0.0)
+        first = Service(seed=1, state_dir=tmp_path, retry=policy)
+        first.submit_callable("acme", "bad", poison)
+        first.run(until=0.0)
+        assert [f.attempt for f in first.failed] == [0, 1]
+
+        first.dlq.retry("acme", "bad", 0)
+        second = Service(seed=1, state_dir=tmp_path, retry=policy)
+        second.submit_callable("acme", "bad", poison)
+        second.run(until=0.0)
+        # prior cycle consumed attempts 0-1; the released study fails once
+        # more (attempt 2) and immediately re-parks — no replayed retries.
+        assert [f.attempt for f in second.failed] == [2]
+        assert second.failed[0].dead is True
+        assert second.dlq.entries()[0].attempts == 1
+
+    def test_failures_reach_the_journal(self, tmp_path):
+        service = Service(
+            seed=1, state_dir=tmp_path,
+            retry=StudyRetryPolicy(max_attempts=1, backoff_seconds=1.0),
+        )
+        service.submit_callable("acme", "bad", poison)
+        service.run(until=0.0)
+        failures = service.journal.failures()
+        assert len(failures) == 1
+        assert failures[0]["category"] == "callable"
+        assert failures[0]["dead"] is True
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_blocks_then_probes(self):
+        service = Service(
+            seed=1,
+            retry=StudyRetryPolicy(max_attempts=2, backoff_seconds=10.0, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_seconds=500.0),
+        )
+        service.submit_callable("noisy", "bad", poison)
+        service.submit_callable("noisy", "good", lambda s, sub: {"ok": True})
+        service.submit_callable("quiet", "also-good", lambda s, sub: None)
+        completed = service.run(until=0.0)
+
+        # t=0: bad fails, the breaker opens; the retry due at t=10 must wait
+        # for the cooldown, fails as the probe at t=500, and re-opens until
+        # t=1000 — when the good study finally runs and closes the breaker.
+        dead = [f for f in service.failed if f.dead]
+        assert len(dead) == 1
+        assert [f.failed_at for f in service.failed] == [0.0, 500.0]
+        by_name = {study.name: study for study in completed}
+        # the quiet tenant was never blocked
+        assert by_name["also-good"].completed_at == 0.0
+        assert by_name["good"].started_at == 1000.0
+        families = parse_prometheus_text(service.prometheus_text())
+        assert sum(families["serve_breaker_opens_total"]["samples"].values()) == 2.0
+        assert (
+            families["serve_breaker_state"]["samples"][
+                'serve_breaker_state{tenant="noisy"}'
+            ]
+            == 0.0
+        )
+
+
+class TestLoadShedding:
+    def test_overflow_sheds_lightest_newest_first(self):
+        service = Service(seed=1, queue_bound=2)
+        service.register_tenant("heavy", TenantPolicy(max_queued=8, weight=2.0))
+        service.register_tenant("light", TenantPolicy(max_queued=8, weight=1.0))
+        service.submit_callable("heavy", "h0", lambda s, sub: None)
+        service.submit_callable("light", "l0", lambda s, sub: None)
+        service.submit_callable("light", "l1", lambda s, sub: None)
+        service.submit_callable("heavy", "h1", lambda s, sub: None)
+        completed = service.run(until=0.0)
+        names = {study.name for study in completed}
+        # two victims: the lightest tenant's newest submission first, then
+        # (queue still over bound) its other one
+        assert names == {"h0", "h1"}
+        families = parse_prometheus_text(service.prometheus_text())
+        assert (
+            families["serve_shed_total"]["samples"][
+                'serve_shed_total{tenant="light"}'
+            ]
+            == 2.0
+        )
+
+
+class TestDegradedStudies:
+    def test_degraded_study_is_flagged_and_counted(self):
+        profile = get_service_profile("chaos")
+        plan = ServiceFaultPlan.for_service(11, 5, profile)
+        service = Service(seed=11, faults=plan, shard_attempts=1)
+        for study_seed in range(1, 7):
+            service.submit("acme", f"s{study_seed}", serve_spec(study_seed=study_seed))
+        service.run(until=1e9)
+        degraded = [study for study in service.completed if study.degraded]
+        if not degraded:
+            pytest.skip("fault draws degraded nothing at this seed")
+        for study in degraded:
+            assert study.excluded_shards
+            assert study.to_dict()["degraded"] is True
+        families = parse_prometheus_text(service.prometheus_text())
+        assert "serve_degraded_total" in families
+
+    def test_clean_ledger_has_no_resilience_keys(self):
+        service = Service(seed=1)
+        service.submit("acme", "crawl", serve_spec())
+        service.run(until=0.0)
+        record = service.completed[0].to_dict()
+        assert "degraded" not in record
+        assert "excluded_shards" not in record
+
+
+class TestSpecfileResilience:
+    def payload(self, **extra):
+        payload = {
+            "seed": 7,
+            "horizon": "1d",
+            "studies": [
+                {
+                    "tenant": "acme",
+                    "name": "crawl",
+                    "world": {
+                        "scale": 1.0, "seed": 11, "include_rare_tail": False,
+                        "alexa_countries": 2, "popular_sites_per_country": 5,
+                        "university_sites": 3,
+                    },
+                    "countries": None,
+                }
+            ],
+        }
+        payload["studies"][0].pop("countries")
+        payload.update(extra)
+        return payload
+
+    def test_resilience_knobs_ride_in_the_spec(self):
+        service, _ = build_service(
+            self.payload(
+                service_faults={"profile": "chaos", "seed": 3},
+                retry={"max_attempts": 5},
+                breaker={"failure_threshold": 7},
+                queue_bound=9,
+                shard_attempts=4,
+            )
+        )
+        assert service.faults is not None
+        assert service.faults.profile.name == "chaos"
+        assert service.retry_policy.max_attempts == 5
+        assert service.breaker_policy.failure_threshold == 7
+        assert service.queue_bound == 9
+        assert service.shard_attempts == 4
+
+    def test_cli_override_beats_the_spec(self):
+        service, _ = build_service(
+            self.payload(service_faults={"profile": "chaos", "seed": 3}),
+            service_faults="none",
+        )
+        assert service.faults is None
+        assert service.shard_attempts == 1
+
+    def test_unknown_profile_is_a_specfile_error(self):
+        with pytest.raises(SpecfileError):
+            build_service(self.payload(service_faults={"profile": "gremlins"}))
+
+    def test_unknown_fault_keys_are_rejected(self):
+        with pytest.raises(SpecfileError):
+            build_service(self.payload(service_faults={"profile": "mild", "x": 1}))
+
+
+class TestFsck:
+    def seeded_state(self, tmp_path):
+        service = Service(seed=1, state_dir=tmp_path)
+        service.submit("acme", "crawl", serve_spec())
+        service.run(until=0.0)
+        return tmp_path
+
+    def test_clean_state_dir_passes(self, tmp_path):
+        state = self.seeded_state(tmp_path)
+        report = fsck_state_dir(state)
+        assert report.clean
+        assert report.journal_records > 0
+        assert report.cache_entries == 2
+
+    def test_torn_journal_line_is_detected_and_truncated(self, tmp_path):
+        state = self.seeded_state(tmp_path)
+        journal = state / "service.jsonl"
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "study", "tr')
+        report = fsck_state_dir(state)
+        assert not report.clean
+        repaired = fsck_state_dir(state, repair=True)
+        assert repaired.clean
+        assert fsck_state_dir(state).clean
+        assert not journal.read_text(encoding="utf-8").endswith('"tr')
+
+    def test_corrupt_cache_entry_is_evicted(self, tmp_path):
+        state = self.seeded_state(tmp_path)
+        victim = sorted((state / "shard-cache").glob("*.json"))[0]
+        text = victim.read_text(encoding="utf-8")
+        victim.write_text(text.replace('"payload"', '"paylaod"'), encoding="utf-8")
+        (state / "shard-cache" / "zzz.json.tmp").write_text("torn", encoding="utf-8")
+        report = fsck_state_dir(state)
+        assert len(report.errors) == 2
+        repaired = fsck_state_dir(state, repair=True)
+        assert repaired.clean
+        assert not victim.exists()
+        assert repaired.cache_entries == 1
+
+    def test_mid_journal_corruption_is_reported_not_repaired(self, tmp_path):
+        state = self.seeded_state(tmp_path)
+        journal = state / "service.jsonl"
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "garbage{")
+        journal.write_text("".join(f"{line}\n" for line in lines), encoding="utf-8")
+        report = fsck_state_dir(state, repair=True)
+        assert not report.clean
+        assert any("not repairable" in f.detail for f in report.errors)
+
+    def test_missing_state_dir_is_an_error(self, tmp_path):
+        report = fsck_state_dir(tmp_path / "nope")
+        assert not report.clean
+
+
+class TestTypesExported:
+    def test_outcome_types_are_public(self):
+        assert CompletedStudy is not None
+        assert FailedStudy is not None
