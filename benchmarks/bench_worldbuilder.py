@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Time preset compilation; emit ``BENCH_worldbuilder.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_worldbuilder.py [--repeats N]
+                                                           [--out PATH]
+                                                           [--scales a,b]
+
+For every preset x scale point the script compiles the spec (validation,
+rendering, manifest hashing) and records the wall-clock compile time next
+to the manifest SHA-256.  Everything except the ``wall_seconds`` block is
+bit-stable: the SHAs are *pins* — CI compiles the presets and compares
+against this file, so an unintended topology change (or any
+hash-randomization leak into the manifest) fails the build rather than
+silently re-baselining every digest downstream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.worldbuilder import compile_spec, get_preset
+from repro.worldbuilder.presets import PRESETS
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Benchmark points: the default study scale and paper-adjacent large scale.
+SCALES = (0.02, 0.2)
+
+
+def bench_preset(name: str, scale: float, repeats: int) -> dict:
+    """Compile one preset at one scale ``repeats`` times."""
+    wall: list[float] = []
+    compiled = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        compiled = compile_spec(get_preset(name, scale=scale))
+        wall.append(time.perf_counter() - started)
+    assert compiled is not None
+    return {
+        "preset": name,
+        "scale": scale,
+        "manifest_sha256": compiled.manifest_sha,
+        "canonical": compiled.canonical,
+        "countries": len(compiled.universe),
+        "expected_findings": len(compiled.findings),
+        "wall_seconds": {
+            "best": round(min(wall), 4),
+            "mean": round(statistics.mean(wall), 4),
+            "runs": repeats,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=str(RESULTS_DIR / "BENCH_worldbuilder.json"))
+    parser.add_argument(
+        "--scales", default=",".join(str(s) for s in SCALES),
+        help="comma-separated compile scales",
+    )
+    args = parser.parse_args(argv)
+    scales = tuple(float(part) for part in args.scales.split(","))
+
+    points = []
+    for name in sorted(PRESETS):
+        for scale in scales:
+            point = bench_preset(name, scale, args.repeats)
+            points.append(point)
+            print(
+                f"{name} @ scale {scale}: best "
+                f"{point['wall_seconds']['best']}s, "
+                f"sha {point['manifest_sha256'][:12]}…",
+                file=sys.stderr,
+            )
+
+    payload = {
+        "benchmark": "worldbuilder-compile",
+        "presets": points,
+        "repeats": args.repeats,
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the full pipeline without writing any code:
+Eight commands cover the full pipeline without writing any code:
 
 * ``world-info`` — build a world and summarize its population;
 * ``run`` — run one (or all) of the paper's four experiments, print the
@@ -16,7 +16,9 @@ Seven commands cover the full pipeline without writing any code:
   (Chrome trace-event JSON, Prometheus text, metrics snapshot);
 * ``report`` — re-print the tables for a previously saved dataset;
 * ``lint`` — run the sterility/determinism static checker over the source
-  (see ``docs/static_analysis.md``); exits non-zero on new findings.
+  (see ``docs/static_analysis.md``); exits non-zero on new findings;
+* ``world`` — compile, validate, and diff declarative topology presets
+  from :mod:`repro.worldbuilder` (see ``docs/worldbuilder.md``).
 
 Every world-building command accepts ``--scale`` / ``--seed``;
 ``REPRO_SCALE`` is honoured when ``--scale`` is omitted.
@@ -25,6 +27,7 @@ Every world-building command accepts ``--scale`` / ``--seed``;
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -508,11 +511,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Exit-code contract: 0 = clean, 1 = findings or stale baseline,
-    # 2 = internal analysis error.  Unparseable *target* files are PARSE001
-    # findings (exit 1), never tracebacks; only a genuine analyzer bug
-    # reaches this handler.
+    # 2 = internal analysis error or an unusable baseline.  Unparseable
+    # *target* files are PARSE001 findings (exit 1), never tracebacks; only
+    # a genuine analyzer bug reaches the generic handler.
+    from repro.lint import BaselinePlaceholderError
+
     try:
         return _run_lint(args)
+    except BaselinePlaceholderError as exc:
+        # Not an analyzer bug: the baseline file itself is unreviewed.
+        # Exit 2 (not 1) so CI can't mistake it for ordinary findings.
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
     except Exception as exc:
         if args.debug:
             raise
@@ -597,6 +607,74 @@ def _cmd_report(args: argparse.Namespace) -> int:
     world = _build(args)
     thresholds = AnalysisThresholds.for_scale(world.config.scale)
     report(world, dataset, thresholds)
+    return 0
+
+
+def _world_spec(args: argparse.Namespace, name: str):
+    from repro.worldbuilder import get_preset
+
+    return get_preset(name, scale=args.world_scale, seed=args.world_seed)
+
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    # Exit-code contract mirrors lint: 0 = ok / identical, 1 = spec issues
+    # or differing manifests, 2 = unknown preset.
+    from repro.worldbuilder import (
+        PRESETS,
+        WorldSpecError,
+        compile_spec,
+        diff_manifests,
+        validate_spec,
+    )
+
+    if args.world_command == "presets":
+        width = max(len(name) for name in PRESETS)
+        for name in sorted(PRESETS):
+            doc = (PRESETS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<{width}}  {doc}")
+        return 0
+
+    try:
+        if args.world_command == "diff":
+            specs = [_world_spec(args, args.preset), _world_spec(args, args.other)]
+        else:
+            specs = [_world_spec(args, args.preset)]
+    except KeyError as exc:
+        print(f"repro world: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.world_command == "validate":
+        issues = validate_spec(specs[0])
+        for issue in issues:
+            print(issue.render())
+        if issues:
+            return 1
+        print(f"{specs[0].name}: ok")
+        return 0
+
+    try:
+        worlds = [compile_spec(spec) for spec in specs]
+    except WorldSpecError as exc:
+        for issue in exc.issues:
+            print(issue.render(), file=sys.stderr)
+        return 1
+
+    if args.world_command == "diff":
+        first, second = worlds
+        if first.manifest_sha == second.manifest_sha:
+            print(f"manifests identical ({first.manifest_sha})")
+            return 0
+        for line in diff_manifests(first.manifest, second.manifest):
+            print(line)
+        return 1
+
+    compiled = worlds[0]
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(compiled.manifest_json() + "\n", encoding="utf-8")
+        print(f"world manifest written to {out}", file=sys.stderr)
+    print(json.dumps(compiled.report(), indent=2, sort_keys=True))
     return 0
 
 
@@ -797,6 +875,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="let internal analyzer errors traceback instead of exiting 2",
     )
 
+    world = sub.add_parser(
+        "world",
+        help="compile, validate, and diff declarative topology presets",
+    )
+    world_sub = world.add_subparsers(dest="world_command", required=True)
+
+    def _world_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--world-scale", type=float, metavar="X",
+            help="override the preset's scale (default: the preset's own)",
+        )
+        command.add_argument(
+            "--world-seed", type=int, metavar="N",
+            help="override the preset's seed (default: the preset's own)",
+        )
+
+    world_compile = world_sub.add_parser(
+        "compile",
+        help="compile a preset and print its report (manifest SHA, "
+        "expected findings)",
+    )
+    world_compile.add_argument("preset", help="preset name (see `world presets`)")
+    world_compile.add_argument(
+        "--out", metavar="PATH",
+        help="also write the canonical-JSON world manifest to PATH",
+    )
+    _world_args(world_compile)
+
+    world_validate = world_sub.add_parser(
+        "validate", help="list a preset's spec issues (exit 1 if any)"
+    )
+    world_validate.add_argument("preset", help="preset name")
+    _world_args(world_validate)
+
+    world_diff = world_sub.add_parser(
+        "diff",
+        help="compare two presets' world manifests (exit 1 if they differ)",
+    )
+    world_diff.add_argument("preset", help="first preset name")
+    world_diff.add_argument("other", help="second preset name")
+    _world_args(world_diff)
+
+    world_sub.add_parser("presets", help="list the available presets")
+
     return parser
 
 
@@ -811,6 +933,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "report": _cmd_report,
         "lint": _cmd_lint,
+        "world": _cmd_world,
     }
     return handlers[args.command](args)
 

@@ -177,6 +177,7 @@ def run_full_study(
     config: Optional[WorldConfig] = None,
     seed: int = 1000,
     *,
+    countries: Optional[tuple] = None,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     checkpoint: Optional[str] = None,
@@ -186,7 +187,11 @@ def run_full_study(
     """Run all four experiments and every analysis; return the bundle.
 
     Pass an existing ``world`` to reuse one, or a ``config`` (default: 2%
-    scale) to build one.  Setting any of ``shards``/``workers``/
+    scale) to build one.  ``countries`` follows
+    :func:`~repro.sim.build_world`'s convention (``None`` = the default
+    profile universe) and is how compiled worldbuilder topologies flow
+    through — it shapes the run digest, so it cannot combine with a
+    pre-built ``world``.  Setting any of ``shards``/``workers``/
     ``checkpoint``/``resume``/``shard_cache`` routes execution through the
     sharded engine (:mod:`repro.engine`), which rebuilds worlds per shard
     and therefore cannot accept a pre-built ``world``.  ``shard_cache`` is
@@ -200,6 +205,11 @@ def run_full_study(
         or resume
         or shard_cache is not None
     )
+    if world is not None and countries is not None:
+        raise ValueError(
+            "countries shapes the world build (and the run digest); "
+            "pass config=, not world="
+        )
     if use_engine:
         if world is not None:
             raise ValueError(
@@ -212,6 +222,7 @@ def run_full_study(
 
         spec = StudySpec(
             config=config if config is not None else WorldConfig(scale=0.02),
+            countries=countries,
             seed=seed,
             shards=shards if shards is not None else 1,
             workers=workers if workers is not None else 1,
@@ -224,7 +235,9 @@ def run_full_study(
         return run.results
 
     if world is None:
-        world = build_world(config if config is not None else WorldConfig(scale=0.02))
+        world = build_world(
+            config if config is not None else WorldConfig(scale=0.02), countries
+        )
 
     dns = DnsHijackExperiment(world, seed=seed + 1).run()
     http = HttpModExperiment(world, seed=seed + 2).run()

@@ -46,11 +46,14 @@ class RunManifest:
     plan_sizes: dict[str, int] = field(default_factory=dict)
     retry: dict = field(default_factory=dict)
     validity: dict = field(default_factory=dict)
+    #: SHA-256 of the world manifest (see :mod:`repro.worldbuilder.manifest`);
+    #: empty in journals written before the field existed.
+    world_manifest: str = ""
     version: int = JOURNAL_VERSION
 
     def to_dict(self) -> dict:
         """JSON-able form (the journal line, minus ordering)."""
-        return {
+        payload = {
             "kind": "manifest",
             "version": self.version,
             "digest": self.digest,
@@ -61,6 +64,9 @@ class RunManifest:
             "retry": self.retry,
             "validity": self.validity,
         }
+        if self.world_manifest:
+            payload["world_manifest"] = self.world_manifest
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunManifest":
@@ -73,6 +79,7 @@ class RunManifest:
             plan_sizes=payload.get("plan_sizes", {}),
             retry=payload.get("retry", {}),
             validity=payload.get("validity", {}),
+            world_manifest=payload.get("world_manifest", ""),
             version=payload.get("version", JOURNAL_VERSION),
         )
 

@@ -161,6 +161,11 @@ class RunReport:
     #: when tracing was off, keeping untraced reports byte-identical to
     #: pre-obs builds.
     trace_digest: "str | None" = None
+    #: SHA-256 of the world manifest the run measured (see
+    #: :mod:`repro.worldbuilder.manifest`).  Empty — and absent from
+    #: :meth:`to_dict` — for hand-built reports, keeping pre-worldbuilder
+    #: report fixtures byte-identical.
+    world_manifest: str = ""
     #: Whether the run completed without some shards (service-plane
     #: containment quarantined them after exhausting their attempts).  A
     #: degraded run's datasets cover only the surviving shards and never
@@ -207,6 +212,8 @@ class RunReport:
         }
         if self.trace_digest is not None:
             payload["trace_digest"] = self.trace_digest
+        if self.world_manifest:
+            payload["world_manifest"] = self.world_manifest
         if self.degraded:
             payload["degraded"] = True
             payload["excluded_shards"] = [dict(entry) for entry in self.excluded_shards]

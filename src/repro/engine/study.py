@@ -64,6 +64,7 @@ from repro.obs import (
 from repro.resilience.taxonomy import ContainedFailure
 from repro.sim import World, WorldConfig, build_world
 from repro.sim.profiles import CountrySpec
+from repro.worldbuilder.manifest import manifest_sha256
 
 if TYPE_CHECKING:
     from repro.faults.service import ServiceFaultPlan
@@ -327,6 +328,10 @@ def run_study(
         )
         plans = compute_plans(coordinator, spec)
     digest = run_digest(spec, plans)
+    # The world's own fingerprint, alongside the run digest: two runs agree
+    # on it exactly when they measured the same topology, however it was
+    # declared (profiles or a compiled worldbuilder spec).
+    world_sha = manifest_sha256(spec.config, spec.countries)
     shard_specs = make_shard_specs(spec.seed, spec.shards)
     shard_plans = partition_plans(plans, spec.shards)
 
@@ -336,6 +341,16 @@ def run_study(
         journal = CheckpointJournal(checkpoint)
         if resume:
             manifest, completed = journal.verify_manifest(digest)
+            if manifest.world_manifest and manifest.world_manifest != world_sha:
+                # The run digest normally catches this first (it hashes the
+                # countries value), but the digest and the manifest resolve
+                # the world differently — refuse on either disagreement.
+                raise CheckpointMismatchError(
+                    f"checkpoint was written against world manifest "
+                    f"{manifest.world_manifest[:12]}…, but this run builds "
+                    f"{world_sha[:12]}…; refusing to mix measurements of "
+                    "different worlds"
+                )
             journal.rewrite(manifest, completed)
             if spec.obs != OBS_OFF:
                 # A trace must cover every shard or none: shards resumed from
@@ -362,6 +377,7 @@ def run_study(
                     plan_sizes={name: len(plans[name]) for name in EXPERIMENT_ORDER},
                     retry=spec.retry.to_dict(),
                     validity=spec.validity.to_dict() if spec.validity else {},
+                    world_manifest=world_sha,
                 )
             )
     elif resume:
@@ -390,6 +406,7 @@ def run_study(
         shard_count=spec.shards,
         worker_count=resolve_workers(spec.workers),
         resumed_shards=len(completed),
+        world_manifest=world_sha,
     )
     cache_keys: dict[int, str] = {}
     cached_count = 0

@@ -26,6 +26,7 @@ workflow, and ``repro lint --help`` for the CLI.
 from repro.lint.baseline import (
     Baseline,
     BaselineEntry,
+    BaselinePlaceholderError,
     load_baseline,
     prune_baseline,
     write_baseline,
@@ -40,6 +41,7 @@ __all__ = [
     "ALL_RULES",
     "Baseline",
     "BaselineEntry",
+    "BaselinePlaceholderError",
     "FileContext",
     "Finding",
     "LintConfig",

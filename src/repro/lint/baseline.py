@@ -18,6 +18,24 @@ from repro.lint.engine import Finding
 
 BASELINE_VERSION = 1
 
+#: The justification ``write_baseline`` stamps on fresh entries.  Kept in
+#: one place so the loader can recognise (and reject) it verbatim.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
+
+
+class BaselinePlaceholderError(ValueError):
+    """A baseline entry still carries an empty or placeholder justification.
+
+    Raised at *load* time: a placeholder that reaches the suppression path
+    would silently grandfather findings nobody ever reviewed.  The CLI maps
+    this to exit 2 with the offending fingerprints listed.
+    """
+
+
+def _is_placeholder(justification: str) -> bool:
+    text = justification.strip()
+    return not text or text.upper().startswith("TODO")
+
 
 @dataclass(frozen=True, slots=True)
 class BaselineEntry:
@@ -70,8 +88,16 @@ class Baseline:
         return new, suppressed, stale
 
 
-def load_baseline(path: str | pathlib.Path) -> Baseline:
-    """Read a baseline file; a missing file is an empty baseline."""
+def load_baseline(path: str | pathlib.Path, *, strict: bool = True) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    ``strict`` (the default, and what every suppression path uses) rejects
+    entries whose justification is empty or still the ``write_baseline``
+    placeholder — baselining is an explicit, reviewed act, and the loader
+    is where unreviewed entries stop.  ``strict=False`` exists for the
+    write/prune fixers, which must read files they themselves stamped with
+    placeholders.
+    """
     baseline_path = pathlib.Path(path)
     if not baseline_path.is_file():
         return Baseline()
@@ -89,6 +115,18 @@ def load_baseline(path: str | pathlib.Path) -> Baseline:
         )
         for entry in data.get("entries", ())
     )
+    if strict:
+        unjustified = [e for e in entries if _is_placeholder(e.justification)]
+        if unjustified:
+            listing = ", ".join(
+                "{}:{}:{}".format(*entry.fingerprint) for entry in unjustified
+            )
+            raise BaselinePlaceholderError(
+                f"{baseline_path} has {len(unjustified)} entr"
+                f"{'y' if len(unjustified) == 1 else 'ies'} with a missing or "
+                f"placeholder justification ({listing}); replace each "
+                f"{PLACEHOLDER_JUSTIFICATION!r} with why the finding is exempt"
+            )
     return Baseline(entries=entries)
 
 
@@ -101,7 +139,9 @@ def prune_baseline(
     is rewritten only when something was actually stale, so a clean run never
     touches its mtime.
     """
-    existing = load_baseline(path)
+    # Lenient load: pruning placeholder-bearing files must work, or the
+    # fixer could never clean up what --write-baseline just stamped.
+    existing = load_baseline(path, strict=False)
     _new, _suppressed, stale = existing.split(findings)
     if not stale:
         return existing, []
@@ -124,7 +164,7 @@ def prune_baseline(
 def write_baseline(
     findings: Iterable[Finding],
     path: str | pathlib.Path,
-    justification: str = "TODO: justify or fix",
+    justification: str = PLACEHOLDER_JUSTIFICATION,
 ) -> Baseline:
     """Write a baseline covering ``findings`` (one entry per fingerprint).
 
@@ -132,7 +172,7 @@ def write_baseline(
     gate will refuse them until a human replaces the text, which is the
     point — baselining is an explicit, reviewed act.
     """
-    existing = load_baseline(path)
+    existing = load_baseline(path, strict=False)
     keep = {entry.fingerprint: entry for entry in existing.entries}
     for finding in findings:
         keep.setdefault(

@@ -10,6 +10,7 @@ from repro.lint.rules.safety import BroadExcept, MutableDefaults
 from repro.lint.rules.service import ContainedFailures, DeterministicService
 from repro.lint.rules.simulation import FrozenRecords
 from repro.lint.rules.sterility import SterileImports
+from repro.lint.rules.worldbuilder import DeterministicWorldBuilder
 
 #: Every shipped rule instance; the engine runs these unless configured
 #: otherwise with ``LintConfig.select``.
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FrozenRecords(),    # SIM001
     DeterministicService(),  # SRV001
     ContainedFailures(),  # SRV002
+    DeterministicWorldBuilder(),  # WLD001
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
@@ -40,6 +42,7 @@ __all__ = [
     "BroadExcept",
     "ContainedFailures",
     "DeterministicService",
+    "DeterministicWorldBuilder",
     "FaultPlanOnly",
     "FrozenRecords",
     "MutableDefaults",

@@ -148,3 +148,44 @@ class TlsMitmProduct:
             issuer_country=behavior.issuer_country,
         )
         return CertificateChain((leaf, root_cert))
+
+
+class IspTlsProxy:
+    """An in-path interception box shared by all of one ISP's subscribers.
+
+    Unlike the Table 8 host products, the box sits in the carrier network:
+    it re-signs whatever traverses it, regardless of the subscriber's
+    resolver choice or installed software.  ``coverage`` is the fraction of
+    the ISP's subscribers routed through the box, keyed per zID — the same
+    stable-hash mechanism a transcoder's ``affected_fraction`` uses, so the
+    affected set is identical across rebuilds, shards, and resumes.
+    """
+
+    def __init__(
+        self, operator: str, behavior: MitmBehavior, public_roots: RootStore,
+        coverage: float = 1.0,
+    ) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage out of range: {coverage}")
+        self.operator = operator
+        self.coverage = coverage
+        self._product = TlsMitmProduct(behavior, public_roots)
+
+    @property
+    def behavior(self) -> MitmBehavior:
+        return self._product.behavior
+
+    def applies_to(self, node_zid: str) -> bool:
+        """Whether this subscriber's path crosses the box (stable per zID)."""
+        if self.coverage >= 1.0:
+            return True
+        draw = stable_fraction("isp-tls", self.operator, node_zid)
+        return draw < self.coverage
+
+    def intercept_chain(
+        self, server_name: str, chain: CertificateChain, node_zid: str, now: float
+    ) -> CertificateChain:
+        """Replace the chain for covered subscribers; pass through otherwise."""
+        if not self.applies_to(node_zid):
+            return chain
+        return self._product.intercept_chain(server_name, chain, node_zid, now)

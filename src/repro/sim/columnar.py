@@ -97,6 +97,9 @@ class IspRecord:
     path_http: tuple
     path_monitors: tuple
     isp_monitor: Optional["ContentMonitor"]
+    #: In-path TLS interceptors (:class:`~repro.middlebox.tls_mitm.IspTlsProxy`);
+    #: empty for every paper-profile ISP.
+    path_tls: tuple = ()
 
 
 class NodeColumns:
@@ -257,6 +260,15 @@ class HostTable(Sequence[ExitNodeHost]):
             host.path_dns_rewriters = (record.path_proxy,)
         host.path_http_modifiers = record.path_http
         host.path_monitors = record.path_monitors
+        if record.path_tls:
+            host.path_tls_interceptors = record.path_tls
+            covering = tuple(
+                proxy.operator
+                for proxy in record.path_tls
+                if proxy.applies_to(zid)
+            )
+            if covering:
+                truth["path_tls"] = covering[0]
 
         # Host software, in the eager builder's append order:
         # injector, misc modifier, then Cloudguard's coupled injector.

@@ -298,6 +298,29 @@ CLOUDGUARD_INJECTOR = InjectorSpec(
 OPENDNS_BLOCKED_SITE_FRACTION = 0.25
 
 
+@dataclass(frozen=True)
+class TlsProxySpec:
+    """An ISP-operated in-path TLS interception proxy.
+
+    The paper's Table 8 products all run *on the host*; network-level
+    interception — national filtering gateways, enterprise egress proxies —
+    is the scenario the TLS-proxy surveys in §8's related work (O'Neill et
+    al.) measure.  ``coverage`` is the fraction of the ISP's subscribers
+    whose path crosses the box (keyed per zID, like a transcoder's
+    ``affected_fraction``).  The proxy intercepts on-path, so the client's
+    choice of resolver or installed software is irrelevant — a scenario
+    :data:`NAMED_COUNTRIES` never plants.
+    """
+
+    issuer_cn: str
+    coverage: float = 1.0
+    issuer_org: str = ""
+    issuer_country: str = ""
+    #: Skip origins whose own certificate is invalid (filtering gateways
+    #: typically block rather than re-sign broken sites).
+    only_valid_origins: bool = False
+
+
 # ---------------------------------------------------------------------------
 # Content monitoring specs (§7, Table 9, Figure 5)
 # ---------------------------------------------------------------------------
@@ -401,6 +424,12 @@ ISP_MONITOR_MODELS: dict[str, DelayModel] = {
     "Tiscali U.K.": DelayModel(requests=(DelaySpec("normal", 30.0, 0.25),)),
 }
 
+#: Schedule for ISP monitors without a named Figure 5 model (worldbuilder
+#: topologies plant monitors under arbitrary operator names).
+DEFAULT_ISP_MONITOR_MODEL = DelayModel(
+    requests=(DelaySpec("loguniform", 20.0, 900.0),)
+)
+
 #: §7.2: 54 AS groups generated unexpected requests; the six named entities
 #: cover 94%.  The remainder is a long tail of small monitoring operations.
 RARE_MONITOR_COUNT = 48
@@ -502,6 +531,8 @@ class IspSpec:
     monitor: Optional[str] = None
     monitor_rate: float = 0.0
     monitor_ip_count: int = 0
+    #: In-path TLS interception (§8 related work; not a paper scenario).
+    tls_proxy: Optional[TlsProxySpec] = None
     mobile: bool = False
     fixed_asn: Optional[int] = None  # pin the (first) AS number (Table 7 rows)
 

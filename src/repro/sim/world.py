@@ -32,7 +32,7 @@ from repro.middlebox.droppers import ResponseDropper
 from repro.middlebox.injectors import IspWebFilter, JsInjector, PolicyBlocker
 from repro.middlebox.monitor import ContentMonitor, DelayModel, DelaySpec
 from repro.middlebox.http_proxy import TransparentHttpProxy
-from repro.middlebox.tls_mitm import MitmBehavior, TlsMitmProduct
+from repro.middlebox.tls_mitm import IspTlsProxy, MitmBehavior, TlsMitmProduct
 from repro.middlebox.transcoder import ImageTranscoder
 from repro.net.asn import RouteViewsTable
 from repro.net.geo import CountryRegistry
@@ -258,19 +258,7 @@ class _WorldBuilder:
     def _expand_countries(self, explicit: Optional[Sequence[CountrySpec]]) -> list[CountrySpec]:
         if explicit is not None:
             return list(explicit)
-        named = {spec.code: spec for spec in NAMED_COUNTRIES}
-        specs: list[CountrySpec] = list(NAMED_COUNTRIES)
-        for country in self.registry_countries:
-            if country.code in named:
-                continue
-            specs.append(
-                CountrySpec(
-                    code=country.code,
-                    population=tail_population(country.code),
-                    residual_hijack_ratio=tail_hijack_ratio(country.code),
-                )
-            )
-        return specs
+        return list(default_country_universe())
 
     # -- low-level allocation -------------------------------------------------
 
@@ -974,11 +962,31 @@ class _WorldBuilder:
             isp_monitor = ContentMonitor(
                 entity=isp.monitor,
                 source_pools={"default": ips},
-                delay_model=profiles.ISP_MONITOR_MODELS[isp.monitor],
+                delay_model=profiles.ISP_MONITOR_MODELS.get(
+                    isp.monitor, profiles.DEFAULT_ISP_MONITOR_MODEL
+                ),
                 monitor_rate=isp.monitor_rate,
                 user_agent=f"{isp.monitor} SafeBrowse/1.0",
             )
             self.monitors[isp.monitor] = isp_monitor
+
+        # In-path TLS interception (worldbuilder scenario; never set by the
+        # paper profiles, so default worlds skip this entirely).
+        tls_proxy: Optional[IspTlsProxy] = None
+        if isp.tls_proxy is not None:
+            tls_proxy = IspTlsProxy(
+                operator=isp.name,
+                behavior=MitmBehavior(
+                    product=isp.tls_proxy.issuer_cn,
+                    issuer_cn=isp.tls_proxy.issuer_cn,
+                    category="Network filter",
+                    issuer_org=isp.tls_proxy.issuer_org or isp.name,
+                    issuer_country=isp.tls_proxy.issuer_country or country.code,
+                    only_valid_origins=isp.tls_proxy.only_valid_origins,
+                ),
+                public_roots=self.root_store,
+                coverage=isp.tls_proxy.coverage,
+            )
 
         # Response-path order: the shared proxy/cache sits upstream in the
         # carrier core (it stores *origin* bodies), then the per-subscriber
@@ -1009,6 +1017,7 @@ class _WorldBuilder:
                 path_http=path_http,
                 path_monitors=path_monitors,
                 isp_monitor=isp_monitor,
+                path_tls=(tls_proxy,) if tls_proxy is not None else (),
             )
         )
         country_code = country.code
@@ -1051,6 +1060,7 @@ class _WorldBuilder:
         isp_hijacks_resolution = resolver_policy is not None and hijack_rate >= 0.5
         has_isp_monitor = isp_monitor is not None
         isp_monitor_entity = isp.monitor
+        has_tls_proxy = tls_proxy is not None
         has_transcoder = isp.transcoder is not None
         first_is_transcoder = (
             has_transcoder
@@ -1144,6 +1154,13 @@ class _WorldBuilder:
                     zid = zid_of(index)
                 if isp_monitor.monitors_node(zid):
                     truth.monitor_nodes[isp_monitor_entity] += 1
+            if has_tls_proxy:
+                # zID-keyed coverage check: consumes no RNG draws, so the
+                # loop's draw sequence — the digest contract — is untouched.
+                if zid is None:
+                    zid = zid_of(index)
+                if tls_proxy.applies_to(zid):
+                    truth.mitm_nodes[tls_proxy.behavior.product] += 1
             if has_transcoder:
                 truth.transcoder_nodes[asn] += 1
                 if first_is_transcoder:
@@ -1241,6 +1258,30 @@ class _WorldBuilder:
             as_allocators=self._as_cursors,
             faults=faults,
         )
+
+
+def default_country_universe() -> tuple[CountrySpec, ...]:
+    """The profile universe a ``countries=None`` build populates.
+
+    Every named country (:data:`~repro.sim.profiles.NAMED_COUNTRIES`) in
+    declaration order, followed by the registry's remaining countries with
+    stable-hash tail populations and residual hijack ratios.  This is the
+    expansion both :func:`build_world` and the worldbuilder compiler use —
+    a composed spec equal to it is *the* paper-faithful world.
+    """
+    named = {spec.code: spec for spec in NAMED_COUNTRIES}
+    specs: list[CountrySpec] = list(NAMED_COUNTRIES)
+    for country in CountryRegistry():
+        if country.code in named:
+            continue
+        specs.append(
+            CountrySpec(
+                code=country.code,
+                population=tail_population(country.code),
+                residual_hijack_ratio=tail_hijack_ratio(country.code),
+            )
+        )
+    return tuple(specs)
 
 
 def build_world(

@@ -1,0 +1,239 @@
+"""Preset world specs: ready-made topologies, from faithful to novel.
+
+``paper_faithful`` recomposes the profile universe through the DSL and
+canonicalizes back to ``countries=None`` — its full-study run digest is
+bit-identical to a world built straight from :mod:`repro.sim.profiles`
+at the same seed and scale (asserted in tests and CI).  The other three
+plant topologies the profile module cannot express, most notably
+``censored_region``'s ISP-operated in-path TLS interception.
+
+Every preset is a function of ``(scale, seed)`` so studies and benches
+can compile the same topology at any size; everything else about a
+preset is fixed, which is what makes its manifest SHA pinnable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.config import WorldConfig
+from repro.sim.profiles import NAMED_COUNTRIES
+from repro.worldbuilder.bindings import by_country, by_isp, where
+from repro.worldbuilder.compile import WorldSpec, base_layer_from_profiles
+from repro.worldbuilder.layers import (
+    BaseLayer,
+    HttpProxy,
+    MiddleboxLayer,
+    Monitor,
+    NodePopulationLayer,
+    ResolverHijacker,
+    ResolverLayer,
+    TlsProxy,
+    Transcoder,
+)
+
+#: The default seed every preset shares with :class:`WorldConfig`.
+DEFAULT_SEED = WorldConfig().seed
+
+
+def paper_faithful(scale: float = 0.1, seed: int = DEFAULT_SEED) -> WorldSpec:
+    """The paper's world, recomposed declaratively.
+
+    Round-trips :data:`~repro.sim.profiles.NAMED_COUNTRIES` through the
+    DSL and includes the default tail, so the compiler canonicalizes it
+    to ``countries=None`` — the digest-identical form.
+    """
+    spec = WorldSpec("paper_faithful", WorldConfig(scale=scale, seed=seed))
+    base = base_layer_from_profiles(NAMED_COUNTRIES)
+    base.include_default_tail()
+    spec.add(base)
+    return spec
+
+
+def censored_region(scale: float = 0.05, seed: int = DEFAULT_SEED) -> WorldSpec:
+    """A national filtering regime — the scenario profiles can't express.
+
+    The state backbone runs an **in-path TLS interception gateway**
+    (Table 8's products are all host software; this one re-signs 90% of
+    subscribers regardless of what they installed), an NXDOMAIN-rewriting
+    resolver fleet, and a content monitor.  The world is sterile — no
+    host software, no hijacking public resolvers — so a study against it
+    must find exactly the planted behaviours and nothing else.
+    """
+    spec = WorldSpec(
+        "censored_region",
+        WorldConfig(
+            scale=scale,
+            seed=seed,
+            sterile=True,
+            include_rare_tail=False,
+            alexa_countries=2,
+            popular_sites_per_country=8,
+            university_sites=4,
+        ),
+    )
+    base = BaseLayer()
+    base.add_country("XC", 60_000, external_dns_fraction=0.05)
+    base.add_isp("XC", "XC National Backbone", share=0.62, as_count=2,
+                 prefix="21.0.0.0/8")
+    base.add_isp("XC", "XC Mobile", share=0.2, mobile=True, fixed_asn=64900,
+                 prefix="22.0.0.0/8")
+    base.add_country("NB", 20_000)
+    base.add_isp("NB", "NB Open Net", share=0.5, prefix="23.0.0.0/8")
+    spec.add(base)
+
+    resolvers = ResolverLayer()
+    resolvers.configure(
+        by_isp("XC National Backbone"),
+        # A declared major-resolver fleet is what puts the hijacker's
+        # servers above the Table 4 significance cut (see
+        # ResolverHijacker.finding): most subscribers sit on these
+        # full-scale counts, scaled with the world.
+        major_resolvers=50,
+        major_resolver_nodes=30_000,
+        external_dns_fraction=0.03,
+    )
+    spec.add(resolvers)
+
+    boxes = MiddleboxLayer()
+    boxes.plant(
+        by_isp("XC National Backbone"),
+        TlsProxy(
+            issuer_cn="XC National Gateway CA",
+            coverage=0.9,
+            issuer_org="XC Ministry of Communications",
+            issuer_country="XC",
+        ),
+    )
+    boxes.plant(
+        by_isp("XC National Backbone"),
+        ResolverHijacker("blocked.gateway.xc", rate=0.97),
+    )
+    boxes.plant(
+        by_isp("XC National Backbone"),
+        Monitor("XC Gateway Monitor", rate=0.5, ip_count=4),
+    )
+    boxes.plant(by_isp("XC Mobile"), Transcoder(ratios=(0.45,), affected_fraction=0.8))
+    boxes.plant(by_isp("NB Open Net"), HttpProxy("nb-border-cache1.proxy"))
+    spec.add(boxes)
+    return spec
+
+
+def cdn_heavy(scale: float = 0.05, seed: int = DEFAULT_SEED) -> WorldSpec:
+    """Edge-cache country: transparent caching proxies at most eyeballs.
+
+    A fraction-bound middlebox binding picks which eyeball ISPs host an
+    edge cache — deterministically, by keyed hash — so recompiling yields
+    the same deployment every time.
+    """
+    spec = WorldSpec(
+        "cdn_heavy",
+        WorldConfig(
+            scale=scale,
+            seed=seed,
+            sterile=True,
+            include_rare_tail=False,
+            alexa_countries=3,
+            popular_sites_per_country=10,
+            university_sites=5,
+        ),
+    )
+    base = BaseLayer()
+    base.add_country("CA", 30_000)
+    for index in range(4):
+        base.add_isp("CA", f"Cache Nation {index + 1}", share=0.2)
+    base.add_country("CB", 24_000)
+    for index in range(3):
+        base.add_isp("CB", f"Edgeline {index + 1}", share=0.25)
+    base.add_country("CD", 18_000)
+    base.add_isp("CD", "Origin Transit", share=0.6)
+    spec.add(base)
+
+    boxes = MiddleboxLayer()
+    boxes.plant(
+        by_country("CA", "CB"),
+        HttpProxy("cdn-edge-pop3.cache"),
+        fraction=0.5,
+        key="edge-caches",
+    )
+    boxes.plant(by_isp("Origin Transit"), HttpProxy("origin-transit-wc1.proxy"))
+    spec.add(boxes)
+    return spec
+
+
+def mobile_carrier(scale: float = 0.05, seed: int = DEFAULT_SEED) -> WorldSpec:
+    """One dominant mobile carrier: transcoding, a WAP-era proxy, and a
+    resolver fleet that hijacks *below* the Table 4 cut.
+
+    The sub-cut hijacker reproduces the Indonesia pattern: Tables 3/5
+    see it, Table 4 must not — so it carries no expected finding, and a
+    study that reports it anyway has a false positive.
+    """
+    spec = WorldSpec(
+        "mobile_carrier",
+        WorldConfig(
+            scale=scale,
+            seed=seed,
+            sterile=True,
+            include_rare_tail=False,
+            alexa_countries=1,
+            popular_sites_per_country=10,
+            university_sites=5,
+        ),
+    )
+    base = BaseLayer()
+    base.add_country("MC", 50_000, external_dns_fraction=0.12)
+    base.add_isp("MC", "Carrier One Mobile", share=0.7, mobile=True,
+                 as_count=2, fixed_asn=64910)
+    base.add_isp("MC", "Carrier One Fixed", share=0.2)
+    spec.add(base)
+
+    resolvers = ResolverLayer()
+    resolvers.configure(
+        where("mobile", lambda draft: draft.mobile),
+        major_resolvers=4,
+        external_dns_fraction=0.15,
+        external_google_share=0.95,
+    )
+    spec.add(resolvers)
+
+    boxes = MiddleboxLayer()
+    boxes.plant(
+        by_isp("Carrier One Mobile"),
+        Transcoder(ratios=(0.38, 0.55), affected_fraction=0.7),
+    )
+    boxes.plant(by_isp("Carrier One Mobile"), HttpProxy("carrier1-wap2.proxy"))
+    boxes.plant(
+        by_isp("Carrier One Fixed"),
+        ResolverHijacker("search.carrier-one.mc", rate=0.75),
+    )
+    spec.add(boxes)
+
+    population = NodePopulationLayer()
+    population.set_churn(0.1, by_isp("Carrier One Mobile"))
+    spec.add(population)
+    return spec
+
+
+PRESETS: dict[str, Callable[..., WorldSpec]] = {
+    "paper_faithful": paper_faithful,
+    "censored_region": censored_region,
+    "cdn_heavy": cdn_heavy,
+    "mobile_carrier": mobile_carrier,
+}
+
+
+def get_preset(name: str, scale: float | None = None, seed: int | None = None) -> WorldSpec:
+    """Build a preset spec by name (raising ``KeyError`` with choices)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choices: {', '.join(sorted(PRESETS))}"
+        ) from None
+    kwargs: dict = {}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)

@@ -1,0 +1,20 @@
+"""WLD001 bad fixture: wall clock and ambient randomness in the world builder.
+
+Lives under a ``repro/worldbuilder/`` directory because the rule is scoped
+to the world-builder package; identical code elsewhere is DET001/DET002's
+business.  (It trips those here too — the WLD001 tests run with
+``select=("WLD001",)``.)
+"""
+
+import random
+import time
+from datetime import datetime
+
+
+def pick_hosts(drafts: list) -> list:
+    random.shuffle(drafts)
+    return drafts[: int(time.time()) % 4]
+
+
+def compiled_stamp() -> str:
+    return datetime.now().isoformat()

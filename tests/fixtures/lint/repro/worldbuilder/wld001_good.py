@@ -1,0 +1,15 @@
+"""WLD001 good fixture: keyed-hash tie-breaking, no host state anywhere."""
+
+import zlib
+
+
+def stable_rank(*parts) -> int:
+    """Stand-in for the real keyed hash — pure function of its inputs."""
+    return zlib.crc32("\x1f".join(str(part) for part in parts).encode("utf-8"))
+
+
+def select(drafts: list, key: str, limit: int) -> list:
+    """Deterministic selection: rank by keyed hash, keep declaration order."""
+    ranked = sorted(drafts, key=lambda d: stable_rank("bind", key, d.country, d.name))
+    chosen = set(id(d) for d in ranked[:limit])
+    return [d for d in drafts if id(d) in chosen]

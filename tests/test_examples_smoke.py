@@ -57,6 +57,13 @@ class TestExampleScripts:
         assert "STARTTLS" in out
         assert "TMnet" in out
 
+    def test_custom_topology(self):
+        out = run_example("custom_topology.py", scale="0.02")
+        assert "manifest sha256:" in out
+        assert "Ground truth rediscovered: 4/4" in out
+        assert "Varuna Trust Gateway CA" in out
+        assert "MISSED" not in out
+
     def test_continuous_watch(self):
         out = run_example("continuous_watch.py")
         assert "Hijacking prevalence over time" in out

@@ -11,6 +11,7 @@ from repro.cli import main
 from repro.lint import (
     Baseline,
     BaselineEntry,
+    BaselinePlaceholderError,
     Finding,
     LintConfig,
     LintEngine,
@@ -19,12 +20,21 @@ from repro.lint import (
     render_text,
     write_baseline,
 )
+from repro.lint.baseline import PLACEHOLDER_JUSTIFICATION
 
 FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "lint"
 
 
 def _findings(stem: str) -> list[Finding]:
     return LintEngine(LintConfig()).lint_file(FIXTURES / f"{stem}.py", FIXTURES)
+
+
+def _justify_baseline(path: pathlib.Path, text: str = "reviewed: test fixture") -> None:
+    """Replace every placeholder justification in a baseline file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    for entry in payload["entries"]:
+        entry["justification"] = text
+    path.write_text(json.dumps(payload), encoding="utf-8")
 
 
 class TestReporters:
@@ -64,10 +74,41 @@ class TestBaselineRoundtrip:
     def test_write_then_split_suppresses_everything(self, tmp_path):
         findings = _findings("det001_bad")
         path = tmp_path / "baseline.json"
-        write_baseline(findings, path)
+        write_baseline(findings, path, justification="reviewed: test fixture")
         new, suppressed, stale = load_baseline(path).split(findings)
         assert new == [] and stale == []
         assert len(suppressed) == len(findings)
+
+    def test_placeholder_justification_rejected_at_load(self, tmp_path):
+        # write_baseline stamps the placeholder by default; the strict
+        # loader (every suppression path) must refuse it until a human
+        # replaces the text.
+        findings = _findings("det001_bad")
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        with pytest.raises(BaselinePlaceholderError, match="placeholder"):
+            load_baseline(path)
+        # The lenient load the write/prune fixers use still works.
+        lenient = load_baseline(path, strict=False)
+        assert len(lenient.entries) > 0
+        assert all(
+            e.justification == PLACEHOLDER_JUSTIFICATION for e in lenient.entries
+        )
+
+    def test_blank_justification_rejected_at_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({
+                "version": 1,
+                "entries": [{
+                    "rule": "DET001", "path": "x.py",
+                    "symbol": "random.random", "justification": "   ",
+                }],
+            }),
+            encoding="utf-8",
+        )
+        with pytest.raises(BaselinePlaceholderError, match="DET001:x.py"):
+            load_baseline(path)
 
     def test_missing_file_is_empty(self, tmp_path):
         assert load_baseline(tmp_path / "nope.json") == Baseline()
@@ -110,13 +151,16 @@ class TestLintCommand:
         assert payload["count"] > 0
         assert {f["rule"] for f in payload["findings"]} == {"DET001"}
 
-    def test_write_baseline_then_clean(self, capsys, tmp_path):
+    def test_write_baseline_then_justify_then_clean(self, capsys, tmp_path):
         baseline = tmp_path / "baseline.json"
         assert main([
             "lint", "safe001_bad.py", "--root", str(FIXTURES),
             "--baseline", str(baseline), "--write-baseline",
         ]) == 0
         assert baseline.is_file()
+        # Fresh entries carry the placeholder; they only suppress once a
+        # human has replaced it (see TestExitCodeContract for the refusal).
+        _justify_baseline(baseline)
         capsys.readouterr()
         code = main([
             "lint", "safe001_bad.py", "--root", str(FIXTURES),
@@ -194,6 +238,25 @@ class TestExitCodeContract:
         code = main(["lint", "--root", str(FIXTURES)])
         assert code == 2
         assert "internal error" in capsys.readouterr().err
+
+    def test_placeholder_baseline_exits_two(self, capsys, tmp_path):
+        # An unjustified baseline is a config error, not findings: exit 2
+        # with the offending fingerprints, so CI can't mistake a silently
+        # unreviewed suppression file for a clean (or merely dirty) tree.
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", "safe001_bad.py", "--root", str(FIXTURES),
+            "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "lint", "safe001_bad.py", "--root", str(FIXTURES),
+            "--baseline", str(baseline),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "placeholder justification" in err
+        assert "SAFE001" in err
 
     def test_debug_reraises_internal_errors(self, monkeypatch):
         import repro.lint as lint_pkg

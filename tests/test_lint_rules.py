@@ -254,3 +254,47 @@ class TestContainedFailuresRule:
         for module in sorted(package_dir.glob("*.py")):
             findings = engine.lint_file(module, package_dir.parent.parent)
             assert findings == [], f"{module.name}: {findings}"
+
+
+class TestWorldBuilderRule:
+    """WLD001 is path-scoped to ``repro/worldbuilder/`` and bans both
+    wall-clock access *and* ambient randomness (manifest SHAs must be pure
+    functions of the spec).
+
+    Its bad fixture also trips DET001/DET002 (by design — the rules overlap
+    inside the world builder), so these tests select WLD001 alone.
+    """
+
+    BAD = FIXTURES / "repro" / "worldbuilder" / "wld001_bad.py"
+    GOOD = FIXTURES / "repro" / "worldbuilder" / "wld001_good.py"
+
+    @staticmethod
+    def engine() -> LintEngine:
+        return LintEngine(LintConfig(select=("WLD001",)))
+
+    def test_bad_fixture_fires(self):
+        findings = self.engine().lint_file(self.BAD, FIXTURES)
+        assert findings, "WLD001 bad fixture produced no findings"
+        assert {f.rule for f in findings} == {"WLD001"}
+        assert {f.symbol for f in findings} == {
+            "random", "time", "datetime", "time.time", "datetime.now",
+        }
+        assert all(f.path == "repro/worldbuilder/wld001_bad.py" for f in findings)
+
+    def test_good_fixture_is_silent(self):
+        findings = self.engine().lint_file(self.GOOD, FIXTURES)
+        assert findings == [], f"wld001_good.py should be clean: {findings}"
+
+    def test_rule_is_scoped_to_worldbuilder_package(self):
+        source = self.BAD.read_text(encoding="utf-8")
+        findings = self.engine().lint_source(source, "repro/engine/elsewhere.py")
+        assert findings == []
+
+    def test_shipped_worldbuilder_package_is_clean(self):
+        import repro.worldbuilder as wb_pkg
+
+        package_dir = pathlib.Path(wb_pkg.__file__).resolve().parent
+        engine = self.engine()
+        for module in sorted(package_dir.glob("*.py")):
+            findings = engine.lint_file(module, package_dir.parent.parent)
+            assert findings == [], f"{module.name}: {findings}"

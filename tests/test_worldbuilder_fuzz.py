@@ -1,0 +1,188 @@
+"""Property-based fuzzing of the worldbuilder DSL.
+
+Each fuzz seed drives a ``random.Random`` (seeded — the *test* may draw
+randomness; the package under test may not, which WLD001 enforces) that
+composes a spec from random layers: countries, ISP rosters, resolver
+overrides, population pins, middlebox plants, sometimes churn.  Three
+properties must hold for every composition:
+
+* **compile determinism** — compiling the same seed's spec twice yields
+  the same manifest SHA-256, and so does compiling it in a *different
+  process* with a different ``PYTHONHASHSEED`` (no dict/set-order or
+  hash-randomization leaks);
+* **validity** — generated specs compile without issues (the generator
+  stays inside the DSL's contract, so any issue is a compiler bug);
+* **ground truth** — every planted middlebox's expected finding is
+  rediscovered by a small-scale study of the compiled world.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim import WorldConfig
+from repro.worldbuilder import (
+    BaseLayer,
+    HttpProxy,
+    MiddleboxLayer,
+    Monitor,
+    NodePopulationLayer,
+    ResolverLayer,
+    TlsProxy,
+    Transcoder,
+    WorldSpec,
+    by_isp,
+    compile_spec,
+    validate_spec,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+FUZZ_SEEDS = (1, 2, 3, 4)
+
+
+def fuzz_spec(fuzz_seed: int) -> WorldSpec:
+    """Compose a random — but always valid — spec from a fuzz seed."""
+    rng = random.Random(fuzz_seed)
+    country_count = rng.randint(2, 3)
+    config = WorldConfig(
+        scale=0.02,
+        seed=rng.randrange(1, 100_000),
+        sterile=True,
+        include_rare_tail=False,
+        alexa_countries=country_count,
+        popular_sites_per_country=rng.randint(6, 10),
+        university_sites=rng.randint(3, 5),
+    )
+    spec = WorldSpec(f"fuzz-{fuzz_seed}", config)
+
+    base = BaseLayer()
+    isp_names: list[str] = []
+    for code in ("QA", "QB", "QC")[:country_count]:
+        base.add_country(
+            code,
+            rng.randrange(40_000, 60_000),
+            external_dns_fraction=round(rng.uniform(0.03, 0.10), 3),
+        )
+        for index in range(rng.randint(2, 3)):
+            name = f"{code} Net {index + 1}"
+            base.add_isp(
+                code,
+                name,
+                # Shares stay well under the overflow cut (3 x 0.30) and
+                # big enough that every ISP clears the analysis thresholds.
+                share=round(rng.uniform(0.15, 0.30), 2),
+                mobile=rng.random() < 0.4,
+                as_count=rng.randint(1, 2),
+            )
+            isp_names.append(name)
+    spec.add(base)
+
+    resolvers = ResolverLayer()
+    resolvers.configure(
+        by_isp(rng.choice(isp_names)),
+        external_dns_fraction=round(rng.uniform(0.02, 0.12), 3),
+    )
+    spec.add(resolvers)
+
+    if rng.random() < 0.5:
+        population = NodePopulationLayer()
+        population.set_population(
+            by_isp(rng.choice(isp_names)), rng.randrange(8_000, 15_000)
+        )
+        spec.add(population)
+
+    # One middlebox kind per distinct host ISP: kinds never collide on a
+    # field, and distinct hosts keep every expected finding attributable.
+    boxes = MiddleboxLayer()
+    kinds = rng.sample(("tls", "proxy", "monitor", "transcoder"), rng.randint(1, 4))
+    hosts = rng.sample(isp_names, len(kinds))
+    for kind, host in zip(kinds, hosts):
+        if kind == "tls":
+            box = TlsProxy(
+                issuer_cn=f"Fuzz Gateway CA {fuzz_seed}",
+                coverage=round(rng.uniform(0.85, 1.0), 2),
+            )
+        elif kind == "proxy":
+            box = HttpProxy(f"fuzz{fuzz_seed}-cache1.proxy")
+        elif kind == "monitor":
+            box = Monitor(
+                f"Fuzz Monitor {fuzz_seed}",
+                rate=round(rng.uniform(0.4, 0.8), 2),
+                ip_count=rng.randint(1, 4),
+            )
+        else:
+            box = Transcoder(
+                ratios=(round(rng.uniform(0.3, 0.6), 2),),
+                affected_fraction=round(rng.uniform(0.6, 1.0), 2),
+            )
+        boxes.plant(by_isp(host), box)
+    spec.add(boxes)
+
+    if rng.random() < 0.3:
+        churn = NodePopulationLayer()
+        churn.set_churn(round(rng.uniform(0.05, 0.15), 2), by_isp(rng.choice(isp_names)))
+        spec.add(churn)
+    return spec
+
+
+@pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
+def test_generated_specs_are_valid(fuzz_seed):
+    issues = validate_spec(fuzz_spec(fuzz_seed))
+    assert issues == [], [issue.render() for issue in issues]
+
+
+@pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
+def test_compile_is_deterministic_in_process(fuzz_seed):
+    first = compile_spec(fuzz_spec(fuzz_seed))
+    second = compile_spec(fuzz_spec(fuzz_seed))
+    assert first.manifest_sha == second.manifest_sha
+    assert first.manifest_json() == second.manifest_json()
+    assert [f.describe() for f in first.findings] == [
+        f.describe() for f in second.findings
+    ]
+
+
+@pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS[:2])
+def test_compile_is_deterministic_across_processes(fuzz_seed):
+    # A fresh interpreter with a different hash seed must compile the same
+    # spec to the same bytes — the canary for dict/set-order dependence.
+    expected = compile_spec(fuzz_spec(fuzz_seed)).manifest_sha
+    code = (
+        "from test_worldbuilder_fuzz import fuzz_spec\n"
+        "from repro.worldbuilder import compile_spec\n"
+        f"print(compile_spec(fuzz_spec({fuzz_seed})).manifest_sha)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        (str(REPO_ROOT / "src"), str(REPO_ROOT / "tests"))
+    )
+    env["PYTHONHASHSEED"] = str(4242 + fuzz_seed)
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=True,
+    )
+    assert result.stdout.strip() == expected
+
+
+@pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
+def test_planted_ground_truth_is_rediscovered(fuzz_seed):
+    compiled = compile_spec(fuzz_spec(fuzz_seed))
+    assert compiled.findings, "fuzz spec planted nothing verifiable"
+    results = compiled.run_study(seed=compiled.config.seed)
+    missed = [
+        finding.describe()
+        for finding in compiled.findings
+        if not finding.verify(results)
+    ]
+    assert missed == [], f"study missed planted ground truth: {missed}"
